@@ -1,0 +1,70 @@
+"""E8 — ablation studies of the framework's design choices.
+
+Quantifies each mechanism DESIGN.md calls out:
+
+* MAJ/NOT synthesis vs AND/OR/NOT building blocks (Step 1),
+* MIG optimization on/off (Step 1),
+* operand-reuse scheduling vs fixed per-gate sequences (Step 2),
+* the AP+copy peephole fusion (Step 2),
+* transposition overhead as a fraction of kernel time (system
+  integration).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.apps import KernelHarness, paper_kernels
+from repro.core.compiler import compile_operation
+from repro.core.operations import get_operation
+from repro.exec.transposition import TranspositionUnit
+from repro.uprog.scheduler import ScheduleOptions
+from repro.util.tables import format_table
+
+OPS = (("add", 32), ("mul", 16), ("gt", 32), ("bitcount", 16))
+
+
+def bench_e8_ablation(benchmark):
+    rows = []
+    for op_name, width in OPS:
+        spec = get_operation(op_name)
+        full = compile_operation(spec, width)
+        no_opt = compile_operation(spec, width, optimize_mig=False)
+        no_reuse = compile_operation(
+            spec, width, options=ScheduleOptions(reuse=False))
+        no_peephole = compile_operation(
+            spec, width, options=ScheduleOptions(peephole=False))
+        classic = compile_operation(spec, width, backend="ambit",
+                                    options=ScheduleOptions(reuse=True))
+        rows.append((
+            f"{op_name}{width}", full.n_commands,
+            f"+{no_opt.n_commands - full.n_commands}",
+            f"+{no_reuse.n_commands - full.n_commands}",
+            f"+{no_peephole.n_commands - full.n_commands}",
+            f"+{classic.n_commands - full.n_commands}",
+        ))
+    table = format_table(
+        ["op", "full (cmds)", "no MIG opt", "no reuse", "no peephole",
+         "AND/OR/NOT blocks"],
+        rows, title="E8: command-count ablation of framework mechanisms")
+
+    # Transposition overhead per kernel.
+    harness = KernelHarness()
+    transposer = TranspositionUnit()
+    overhead_rows = []
+    for kernel in paper_kernels():
+        total = harness.measure_pim(kernel, "simdram", 16).time_ms
+        transpose_ms = transposer.transpose_cost(
+            kernel.transposed_bits, 1).latency_ns * 1e-6
+        fraction = 0.0 if total == 0 else transpose_ms / total
+        overhead_rows.append((kernel.name, round(transpose_ms, 3),
+                              round(total, 3), f"{fraction:.1%}"))
+    overhead_table = format_table(
+        ["kernel", "transpose ms", "total ms", "fraction"],
+        overhead_rows,
+        title="E8b: transposition-unit overhead per kernel")
+    emit("e8_ablation", table + "\n\n" + overhead_table)
+
+    spec = get_operation("add")
+    benchmark(lambda: compile_operation(
+        spec, 16, options=ScheduleOptions(reuse=False)))

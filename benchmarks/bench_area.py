@@ -1,0 +1,32 @@
+"""E6 — area overhead table (abstract: <1% DRAM area overhead)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.perf.area import area_report
+from repro.util.tables import format_table
+
+
+def bench_e6_area(benchmark):
+    report = area_report()
+    rows = [
+        ("B/C reserved rows", "DRAM chip",
+         f"{report.dram_reserved_rows_percent:.2f}% of chip"),
+        ("B-group row decoder", "DRAM chip",
+         f"{report.dram_decoder_percent:.2f}% of chip"),
+        ("total in-DRAM", "DRAM chip",
+         f"{report.dram_total_percent:.2f}% of chip (<1%)"),
+        ("control unit", "memory controller",
+         f"{report.control_unit_mm2:.2f} mm^2"),
+        ("transposition unit", "memory controller",
+         f"{report.transposition_unit_mm2:.2f} mm^2"),
+        ("total controller-side", "memory controller",
+         f"{report.controller_total_mm2:.2f} mm^2 "
+         f"({report.controller_percent_of_cpu:.3f}% of a CPU die)"),
+    ]
+    emit("e6_area", format_table(
+        ["component", "location", "overhead"], rows,
+        title="E6: SIMDRAM area overhead"))
+
+    benchmark(area_report)

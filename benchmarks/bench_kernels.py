@@ -1,0 +1,65 @@
+"""E4 — application kernel study (seven kernels, four platforms).
+
+Regenerates the paper's kernel figure: execution time and energy of
+VGG-13, VGG-16, LeNet-5, kNN, TPC-H, BitWeaving and Brightness on CPU,
+GPU, Ambit and SIMDRAM:1/4/16, plus speedup summaries (abstract: up to
+2.5x over Ambit).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import emit
+
+from repro.apps import KernelHarness, paper_kernels
+from repro.perf.platforms import cpu_skylake, gpu_volta
+from repro.util.tables import format_table
+
+
+def bench_e4_kernels(benchmark):
+    harness = KernelHarness()
+    cpu, gpu = cpu_skylake(), gpu_volta()
+    time_rows = []
+    energy_rows = []
+    speedups = {"ambit": [], "cpu": [], "gpu": []}
+    for kernel in paper_kernels():
+        host_cpu = harness.measure_host(kernel, cpu)
+        host_gpu = harness.measure_host(kernel, gpu)
+        ambit = harness.measure_pim(kernel, "ambit", 16)
+        simdram = {banks: harness.measure_pim(kernel, "simdram", banks)
+                   for banks in (1, 4, 16)}
+        time_rows.append((
+            kernel.name, round(host_cpu.time_ms, 3),
+            round(host_gpu.time_ms, 3), round(ambit.time_ms, 3),
+            round(simdram[1].time_ms, 3), round(simdram[4].time_ms, 3),
+            round(simdram[16].time_ms, 3)))
+        energy_rows.append((
+            kernel.name, round(host_cpu.energy_mj, 4),
+            round(host_gpu.energy_mj, 4), round(ambit.energy_mj, 4),
+            round(simdram[16].energy_mj, 4)))
+        speedups["ambit"].append(ambit.time_ms / simdram[16].time_ms)
+        speedups["cpu"].append(host_cpu.time_ms / simdram[16].time_ms)
+        speedups["gpu"].append(host_gpu.time_ms / simdram[16].time_ms)
+
+    headers = ["kernel", "CPU ms", "GPU ms", "Ambit:16 ms",
+               "SIMDRAM:1 ms", "SIMDRAM:4 ms", "SIMDRAM:16 ms"]
+    table = format_table(headers, time_rows,
+                         title="E4: kernel execution time")
+    energy_table = format_table(
+        ["kernel", "CPU mJ", "GPU mJ", "Ambit:16 mJ", "SIMDRAM:16 mJ"],
+        energy_rows, title="E4b: kernel energy")
+    summary = (
+        f"  SIMDRAM:16 speedup vs Ambit: "
+        f"mean {statistics.mean(speedups['ambit']):.2f}x, "
+        f"max {max(speedups['ambit']):.2f}x\n"
+        f"  SIMDRAM:16 speedup vs CPU:   "
+        f"mean {statistics.mean(speedups['cpu']):.1f}x, "
+        f"max {max(speedups['cpu']):.1f}x\n"
+        f"  SIMDRAM:16 speedup vs GPU:   "
+        f"mean {statistics.mean(speedups['gpu']):.2f}x, "
+        f"max {max(speedups['gpu']):.2f}x")
+    emit("e4_kernels", table + "\n\n" + energy_table + "\n" + summary)
+
+    kernel = paper_kernels()[4]  # TPC-H
+    benchmark(lambda: harness.measure_pim(kernel, "simdram", 16))

@@ -1,0 +1,40 @@
+"""E5 — reliability under process variation and technology scaling.
+
+Regenerates the paper's reliability study: TRA failure probability
+against capacitance variation, and per-operation failure probability as
+the technology node shrinks (abstract: correct operation maintained as
+DRAM scales down).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.compiler import compile_cached
+from repro.reliability.charge_sharing import TraAnalogModel
+from repro.reliability.variation import sweep_technology, sweep_variation
+from repro.util.tables import format_table
+
+
+def bench_e5_reliability(benchmark):
+    points = sweep_variation(n_trials=400_000)
+    variation_table = format_table(
+        ["cap sigma", "P(TRA failure)"],
+        [(f"{p.sigma_fraction:.1%}", f"{p.p_tra:.2e}") for p in points],
+        title="E5: TRA failure probability vs capacitance variation")
+
+    sections = [variation_table]
+    for op_name, width in (("add", 16), ("mul", 8)):
+        program = compile_cached(op_name, width)
+        node_points = sweep_technology(program, n_trials=400_000)
+        rows = [(f"{p.node_nm} nm", f"{p.sigma_fraction:.1%}",
+                 f"{p.p_tra:.2e}", f"{p.p_operation:.2e}")
+                for p in node_points]
+        sections.append(format_table(
+            ["node", "cap sigma", "P(TRA fail)", f"P({op_name}{width} fail)"],
+            rows,
+            title=f"E5b: technology scaling, {op_name} at {width}-bit"))
+    emit("e5_reliability", "\n\n".join(sections))
+
+    model = TraAnalogModel()
+    benchmark(lambda: model.failure_probability(0.15, n_trials=50_000))

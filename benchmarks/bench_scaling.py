@@ -1,0 +1,62 @@
+"""E7 — sensitivity: throughput scaling with bank count and vector size.
+
+Regenerates the paper's scaling analysis: SIMDRAM throughput grows
+linearly with the number of lockstep banks, and large vectors amortize
+the fixed µProgram latency (batches of lane-count elements).  Also times
+the *functional* simulator executing a real µProgram across banks, which
+is this reproduction's hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+
+from repro.core.compiler import compile_cached
+from repro.core.framework import Simdram, SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.perf.model import PimSystemModel
+from repro.util.tables import format_table
+
+BANK_COUNTS = (1, 2, 4, 8, 16)
+VECTOR_SIZES = (65_536, 1 << 20, 1 << 24, 1 << 26)
+
+
+def bench_e7_bank_scaling(benchmark):
+    system = PimSystemModel.paper()
+    rows = []
+    for op_name, width in (("add", 32), ("mul", 8), ("gt", 32)):
+        program = compile_cached(op_name, width)
+        for banks in BANK_COUNTS:
+            measure = system.measure(program, n_banks=banks)
+            rows.append((f"{op_name}{width}", banks,
+                         round(measure.throughput_gops, 3)))
+    table = format_table(["op", "banks", "GOPS"], rows,
+                         title="E7: throughput scaling with bank count")
+
+    # Effective throughput vs vector size (batching effect).
+    program = compile_cached("add", 32)
+    latency = program.latency_ns(system.timing)
+    lanes = system.lanes(16)
+    size_rows = []
+    for n in VECTOR_SIZES:
+        batches = -(-n // lanes)
+        effective = n / (batches * latency)
+        size_rows.append((n, batches, round(effective, 3)))
+    size_table = format_table(
+        ["elements", "batches", "effective GOPS (SIMDRAM:16, add32)"],
+        size_rows, title="E7b: throughput vs vector size")
+    emit("e7_scaling", table + "\n\n" + size_table)
+
+    # Timed region: the functional simulator across 4 banks.
+    sim = Simdram(SimdramConfig(
+        geometry=DramGeometry.sim_small(cols=256, data_rows=256, banks=4)))
+    a = sim.array(np.arange(1024) % 251, 8)
+    b = sim.array(np.arange(1024) % 13, 8)
+
+    def run_once():
+        out = sim.run("add", a, b)
+        out.free()
+
+    benchmark(run_once)

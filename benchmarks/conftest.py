@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures as an
+ASCII table, printed to stdout *and* written under
+``benchmarks/results/`` so the numbers recorded in EXPERIMENTS.md can be
+re-derived at any time.  The pytest-benchmark timings additionally track
+the cost of the reproduction's own machinery (compiler, simulator,
+models).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,62 @@
+"""Quantized CNN inference on SIMDRAM (paper §5: VGG-13/16, LeNet-5).
+
+Runs one real convolution + ReLU layer slice on the functional simulator
+(multiply-accumulate µPrograms over one lane per output pixel), then
+models full VGG-13, VGG-16 and LeNet-5 inference from their layer shapes
+on all platforms.
+
+Run:  python examples/cnn_inference.py
+"""
+
+import numpy as np
+
+from repro import DramGeometry, Simdram, SimdramConfig
+from repro.apps import (
+    KernelHarness,
+    conv2d_simdram,
+    lenet_kernel,
+    relu_simdram,
+    vgg13_kernel,
+    vgg16_kernel,
+)
+from repro.perf.platforms import cpu_skylake, gpu_volta
+
+
+def main() -> None:
+    config = SimdramConfig(
+        geometry=DramGeometry.sim_small(cols=256, data_rows=512, banks=2))
+    sim = Simdram(config, seed=6)
+
+    rng = np.random.default_rng(3)
+    image = rng.integers(0, 128, (14, 14))
+    kernel = rng.integers(-4, 5, (3, 3))
+
+    feature_map = conv2d_simdram(sim, image, kernel)
+    activated = relu_simdram(sim, feature_map)
+    golden = np.zeros_like(feature_map)
+    out = feature_map.shape[0]
+    for y in range(out):
+        for x in range(out):
+            golden[y, x] = (image[y:y + 3, x:x + 3] * kernel).sum()
+    assert np.array_equal(feature_map, golden)
+    assert np.array_equal(activated, np.maximum(golden, 0))
+    print(f"conv 3x3 + ReLU over a {image.shape[0]}x{image.shape[1]} "
+          f"input: verified on the simulator "
+          f"({out * out} output pixels = {out * out} SIMD lanes)")
+
+    print("\nmodeled full-network inference (batch=1, 8-bit weights):")
+    harness = KernelHarness()
+    for model in (lenet_kernel(), vgg13_kernel(), vgg16_kernel()):
+        cpu = harness.measure_host(model, cpu_skylake())
+        gpu = harness.measure_host(model, gpu_volta())
+        ambit = harness.measure_pim(model, "ambit", 16)
+        simdram = harness.measure_pim(model, "simdram", 16)
+        print(f"  {model.name:8s}: CPU {cpu.time_ms:9.1f} ms | "
+              f"GPU {gpu.time_ms:8.1f} ms | "
+              f"Ambit {ambit.time_ms:9.1f} ms | "
+              f"SIMDRAM:16 {simdram.time_ms:9.1f} ms "
+              f"({ambit.time_ms / simdram.time_ms:.2f}x vs Ambit)")
+
+
+if __name__ == "__main__":
+    main()

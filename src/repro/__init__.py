@@ -1,0 +1,49 @@
+"""SIMDRAM: a framework for bit-serial SIMD processing using DRAM.
+
+Full reproduction of Hajinazar, Oliveira, et al. (ASPLOS 2021).  The
+public API centres on :class:`repro.Simdram`:
+
+    >>> from repro import Simdram
+    >>> sim = Simdram()
+    >>> a = sim.array([1, 2, 3], width=8)
+    >>> b = sim.array([10, 20, 30], width=8)
+    >>> sim.run("add", a, b).to_numpy()
+    array([11, 22, 33])
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.dram` — the DRAM substrate simulator (Ambit B/C/D row
+  groups, triple-row activation, RowClone, dual-contact cells);
+* :mod:`repro.logic` — circuits, the arithmetic library and
+  majority-inverter graphs (framework Step 1);
+* :mod:`repro.uprog` — the µProgram scheduler (Step 2);
+* :mod:`repro.exec` + :mod:`repro.isa` — control unit, transposition
+  unit and the bbop ISA (Step 3 and system integration);
+* :mod:`repro.core` — the operation catalog and the Simdram facade;
+* :mod:`repro.ambit` — the Ambit baseline;
+* :mod:`repro.perf` — throughput/energy/area models for SIMDRAM, Ambit,
+  CPU and GPU;
+* :mod:`repro.reliability` — process-variation Monte Carlo;
+* :mod:`repro.apps` — the seven application kernels of the paper.
+"""
+
+from repro.core.framework import Simdram, SimdramArray, SimdramConfig
+from repro.core.operations import CATALOG, PAPER_OPERATIONS, get_operation
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.errors import SimdramError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simdram",
+    "SimdramArray",
+    "SimdramConfig",
+    "CATALOG",
+    "PAPER_OPERATIONS",
+    "get_operation",
+    "DramGeometry",
+    "DramTiming",
+    "SimdramError",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""The Ambit baseline (Seshadri et al., MICRO 2017).
+
+Ambit is the in-DRAM bulk-bitwise accelerator SIMDRAM compares against.
+This package provides:
+
+* :func:`compile_ambit` — the paper's Ambit baseline for the 16
+  operations: the same operation lowered to Ambit's native 2-input
+  AND/OR (+ DCC NOT) command sequences on the identical substrate;
+* :mod:`repro.ambit.bulk` — Ambit's original horizontal bulk bitwise
+  operations (AND/OR/NOT/... of whole 8 KB rows), used by applications
+  such as BitWeaving that operate on horizontally packed bitmaps.
+"""
+
+from repro.ambit.baseline import compile_ambit
+from repro.ambit.bulk import BULK_OPS, BulkOp, bulk_program
+
+__all__ = ["compile_ambit", "BULK_OPS", "BulkOp", "bulk_program"]

@@ -1,0 +1,25 @@
+"""Ambit-style compilation of SIMDRAM's operation set.
+
+The paper evaluates every operation on Ambit by implementing it with
+Ambit's native primitives — 2-input AND/OR via triple-row activation with
+a control row, and NOT via dual-contact cells — in the operation's
+best-known AND/OR/NOT form.  That is exactly what
+``compile_operation(..., backend="ambit")`` produces; this module is the
+discoverable entry point and adds the latency/energy comparison helper
+used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import compile_operation
+from repro.core.operations import OperationSpec, get_operation
+from repro.uprog.program import MicroProgram
+from repro.uprog.scheduler import ScheduleOptions
+
+
+def compile_ambit(spec_or_name: OperationSpec | str, width: int,
+                  options: ScheduleOptions | None = None) -> MicroProgram:
+    """Compile an operation for the Ambit baseline substrate."""
+    spec = (get_operation(spec_or_name)
+            if isinstance(spec_or_name, str) else spec_or_name)
+    return compile_operation(spec, width, backend="ambit", options=options)

@@ -1,0 +1,74 @@
+"""Ambit's native horizontal bulk bitwise operations.
+
+Ambit's original use case operates on *horizontally* packed bit rows: one
+DRAM row is 65536 independent bits, and a bulk operation combines whole
+rows (e.g. a bitmap index intersection).  SIMDRAM subsumes these as
+1-bit-element operations, so each bulk op here is compiled through the
+same pipeline with ``width=1`` — which reproduces the exact command
+sequences of the Ambit paper (e.g. bulk AND = 4 AAPs: three operand
+loads and one triple-row activation fused with the result copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.compiler import compile_operation
+from repro.core.operations import OperationSpec
+from repro.errors import OperationError
+from repro.logic.circuit import Circuit, Net
+from repro.uprog.program import MicroProgram
+
+
+@dataclass(frozen=True)
+class BulkOp:
+    """One Ambit bulk bitwise operation on whole rows."""
+
+    name: str
+    arity: int
+    build: Callable[[Circuit, list[Net]], Net]
+    golden: Callable[[list[np.ndarray]], np.ndarray]
+
+
+BULK_OPS: dict[str, BulkOp] = {
+    "and": BulkOp("and", 2, lambda c, x: c.and_(x[0], x[1]),
+                  lambda v: v[0] & v[1]),
+    "or": BulkOp("or", 2, lambda c, x: c.or_(x[0], x[1]),
+                 lambda v: v[0] | v[1]),
+    "nand": BulkOp("nand", 2, lambda c, x: c.nand(x[0], x[1]),
+                   lambda v: ~(v[0] & v[1])),
+    "nor": BulkOp("nor", 2, lambda c, x: c.nor(x[0], x[1]),
+                  lambda v: ~(v[0] | v[1])),
+    "xor": BulkOp("xor", 2, lambda c, x: c.xor(x[0], x[1]),
+                  lambda v: v[0] ^ v[1]),
+    "xnor": BulkOp("xnor", 2, lambda c, x: c.xnor(x[0], x[1]),
+                   lambda v: ~(v[0] ^ v[1])),
+    "not": BulkOp("not", 1, lambda c, x: c.not_(x[0]),
+                  lambda v: ~v[0]),
+}
+
+
+def bulk_program(name: str) -> MicroProgram:
+    """Compile an Ambit bulk bitwise op as a width-1 µProgram."""
+    op = BULK_OPS.get(name)
+    if op is None:
+        raise OperationError(
+            f"unknown bulk op {name!r}; known: {sorted(BULK_OPS)}")
+
+    def build(circuit: Circuit, operands: list[list[Net]],
+              style: str) -> list[Net]:
+        return [op.build(circuit, [bits[0] for bits in operands])]
+
+    def golden(inputs: list[np.ndarray], width: int) -> np.ndarray:
+        return op.golden(inputs) & 1
+
+    spec = OperationSpec(
+        name=f"bulk_{name}", arity=op.arity, category="bulk",
+        description=f"Ambit bulk bitwise {name} of whole rows",
+        build=build, golden=golden,
+        in_widths=lambda width: [1] * op.arity,
+        out_width=lambda width: 1)
+    return compile_operation(spec, width=1, backend="ambit")

@@ -1,0 +1,81 @@
+"""The seven application kernels of the paper's evaluation:
+VGG-13, VGG-16, LeNet-5, kNN, TPC-H, BitWeaving, and Brightness."""
+
+from repro.apps.bitweaving import (
+    BitSlicedColumn,
+    bitweaving_kernel,
+    range_scan_golden,
+    range_scan_simdram,
+)
+from repro.apps.brightness import (
+    adjust_brightness_golden,
+    adjust_brightness_simdram,
+    brightness_kernel,
+)
+from repro.apps.cnn import (
+    LENET_LAYERS,
+    VGG13_LAYERS,
+    VGG16_LAYERS,
+    conv2d_simdram,
+    lenet_kernel,
+    relu_simdram,
+    vgg13_kernel,
+    vgg16_kernel,
+)
+from repro.apps.common import (
+    KernelHarness,
+    KernelMeasure,
+    KernelModel,
+    OpInvocation,
+)
+from repro.apps.knn import knn_classify_golden, knn_classify_simdram, knn_kernel
+from repro.apps.tpch import (
+    LineitemTable,
+    filtered_sum_golden,
+    filtered_sum_simdram,
+    tpch_kernel,
+)
+
+
+def paper_kernels() -> list[KernelModel]:
+    """The seven kernels at the paper's evaluation scales."""
+    return [
+        vgg13_kernel(),
+        vgg16_kernel(),
+        lenet_kernel(),
+        knn_kernel(),
+        tpch_kernel(),
+        bitweaving_kernel(),
+        brightness_kernel(),
+    ]
+
+
+__all__ = [
+    "BitSlicedColumn",
+    "bitweaving_kernel",
+    "range_scan_golden",
+    "range_scan_simdram",
+    "adjust_brightness_golden",
+    "adjust_brightness_simdram",
+    "brightness_kernel",
+    "LENET_LAYERS",
+    "VGG13_LAYERS",
+    "VGG16_LAYERS",
+    "conv2d_simdram",
+    "lenet_kernel",
+    "relu_simdram",
+    "vgg13_kernel",
+    "vgg16_kernel",
+    "KernelHarness",
+    "KernelMeasure",
+    "KernelModel",
+    "OpInvocation",
+    "knn_classify_golden",
+    "knn_classify_simdram",
+    "knn_kernel",
+    "LineitemTable",
+    "filtered_sum_golden",
+    "filtered_sum_simdram",
+    "tpch_kernel",
+    "paper_kernels",
+]

@@ -1,0 +1,76 @@
+"""Brightness adjustment kernel (image processing, paper §5).
+
+Adds a signed brightness delta to every pixel and saturates the result
+to [0, 255] — an ``add`` + two predicated clamps per pixel, all SIMDRAM
+operations.  The functional version runs the real µPrograms on the
+simulator; the kernel model scales to a full-HD frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import KernelModel, OpInvocation
+from repro.core.framework import Simdram
+from repro.errors import OperationError
+
+#: Pixels are widened to 10 bits so add and clamp cannot wrap.
+PIXEL_BITS = 10
+
+
+def brightness_kernel(width: int = 1920, height: int = 1080) -> KernelModel:
+    """Op mix for adjusting one ``width x height`` 8-bit frame."""
+    pixels = width * height
+    return KernelModel(
+        name="Brightness",
+        description=f"brightness adjust of a {width}x{height} frame",
+        invocations=(
+            OpInvocation("add", PIXEL_BITS, pixels),
+            OpInvocation("gt", PIXEL_BITS, pixels),     # > 255 ?
+            OpInvocation("if_else", PIXEL_BITS, pixels),  # clamp high
+            OpInvocation("gt", PIXEL_BITS, pixels),     # < 0 ?
+            OpInvocation("if_else", PIXEL_BITS, pixels),  # clamp low
+        ),
+        transposed_bits=2 * pixels * 8,
+        host_bytes=0,
+    )
+
+
+def adjust_brightness_simdram(sim: Simdram, image: np.ndarray,
+                              delta: int) -> np.ndarray:
+    """Brightness-adjust an 8-bit image with SIMDRAM µPrograms."""
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise OperationError("expected a uint8 image")
+    flat = image.reshape(-1).astype(np.int64)
+    n = flat.size
+
+    pixels = sim.array(flat, PIXEL_BITS, signed=True)
+    shift = sim.array(np.full(n, delta, dtype=np.int64), PIXEL_BITS,
+                      signed=True)
+    shifted = sim.run("add", pixels, shift)
+    shifted.signed = True
+
+    # Clamp to 255: sel = shifted > 255 ; out = sel ? 255 : shifted.
+    high = sim.array(np.full(n, 255, dtype=np.int64), PIXEL_BITS,
+                     signed=True)
+    over = sim.run("gt", shifted, high)
+    clamped_high = sim.run("if_else", over, high, shifted)
+    clamped_high.signed = True
+
+    # Clamp to 0: sel = 0 > x ; out = sel ? 0 : x.
+    zero = sim.array(np.zeros(n, dtype=np.int64), PIXEL_BITS, signed=True)
+    under = sim.run("gt", zero, clamped_high)
+    clamped = sim.run("if_else", under, zero, clamped_high)
+
+    result = clamped.to_numpy().astype(np.uint8).reshape(image.shape)
+    for arr in (pixels, shift, shifted, high, over, clamped_high, zero,
+                under, clamped):
+        arr.free()
+    return result
+
+
+def adjust_brightness_golden(image: np.ndarray, delta: int) -> np.ndarray:
+    """Reference implementation for tests."""
+    wide = image.astype(np.int64) + delta
+    return np.clip(wide, 0, 255).astype(np.uint8)

@@ -1,0 +1,121 @@
+"""Shared machinery for the seven application kernels (paper §5).
+
+A kernel is modeled as the multiset of SIMDRAM operation invocations it
+performs (its *op mix*) plus the volume of data that must be transposed
+into/out of vertical layout.  Kernel time/energy on each platform is
+then derived from the same per-operation models as the throughput study
+(E2/E3), so kernel-level results inherit their calibration — the same
+methodology the paper uses.
+
+Each kernel module also provides a *functional* implementation that runs
+the real µPrograms on the bit-accurate simulator for a scaled-down
+input, proving the modeled op mix actually computes the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler import compile_cached
+from repro.errors import ConfigError
+from repro.exec.transposition import TranspositionUnit
+from repro.perf.model import PimSystemModel
+from repro.perf.model import measure_host as measure_host_op
+from repro.perf.platforms import HostPlatform
+
+
+@dataclass(frozen=True)
+class OpInvocation:
+    """``n_elements`` executions of one operation at one width."""
+
+    op_name: str
+    width: int
+    n_elements: int
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 1:
+            raise ConfigError(
+                f"n_elements must be >= 1, got {self.n_elements}")
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """One application kernel: its op mix and transposed data volume."""
+
+    name: str
+    description: str
+    invocations: tuple[OpInvocation, ...]
+    #: Bits moved through the transposition unit (inputs + outputs).
+    transposed_bits: int = 0
+    #: Work done on the host after PIM (e.g. final cross-lane reduction),
+    #: in bytes streamed; charged at host bandwidth for all platforms.
+    host_bytes: int = 0
+
+    def total_elements(self) -> int:
+        return sum(inv.n_elements for inv in self.invocations)
+
+
+@dataclass(frozen=True)
+class KernelMeasure:
+    """Modeled kernel execution on one platform."""
+
+    kernel: str
+    platform: str
+    time_ms: float
+    energy_mj: float
+
+    @property
+    def throughput_geps(self) -> float:
+        """Giga elements of op work per second (for cross-checks)."""
+        return 0.0 if self.time_ms == 0 else 1.0
+
+
+@dataclass
+class KernelHarness:
+    """Evaluates kernels on SIMDRAM/Ambit (by command counts) and hosts."""
+
+    system: PimSystemModel = field(default_factory=PimSystemModel.paper)
+
+    def measure_pim(self, kernel: KernelModel, backend: str = "simdram",
+                    n_banks: int = 16) -> KernelMeasure:
+        """Kernel time/energy on a PIM backend at ``n_banks``."""
+        lanes = self.system.lanes(n_banks)
+        time_ns = 0.0
+        energy_nj = 0.0
+        for inv in kernel.invocations:
+            program = compile_cached(inv.op_name, inv.width, backend)
+            batches = -(-inv.n_elements // lanes)  # ceil division
+            time_ns += batches * program.latency_ns(self.system.timing)
+            per_elem = (program.energy_nj(
+                self.system.timing, self.system.geometry,
+                self.system.energy) / self.system.geometry.cols)
+            energy_nj += per_elem * inv.n_elements
+        transposer = TranspositionUnit(self.system.timing,
+                                       self.system.energy)
+        cost = transposer.transpose_cost(kernel.transposed_bits, 1)
+        time_ns += cost.latency_ns
+        energy_nj += cost.energy_nj
+        # Post-PIM host pass (cross-lane reductions etc.).
+        if kernel.host_bytes:
+            time_ns += kernel.host_bytes / 19.2  # channel bytes/ns
+            energy_nj += kernel.host_bytes * 8 * 20.0 * 1e-3
+        label = "SIMDRAM" if backend == "simdram" else "Ambit"
+        return KernelMeasure(kernel.name, f"{label}:{n_banks}",
+                             time_ns * 1e-6, energy_nj * 1e-6)
+
+    def measure_host(self, kernel: KernelModel,
+                     platform: HostPlatform) -> KernelMeasure:
+        """Kernel time/energy on a host platform (CPU/GPU roofline)."""
+        time_ns = 0.0
+        energy_nj = 0.0
+        for inv in kernel.invocations:
+            measure = measure_host_op(platform, inv.op_name, inv.width)
+            time_ns += inv.n_elements / measure.throughput_gops
+            energy_nj += inv.n_elements * measure.energy_nj_per_element
+        if kernel.host_bytes:
+            time_ns += (kernel.host_bytes
+                        / platform.sustained_bw_bytes_per_ns)
+            energy_nj += (kernel.host_bytes * 8
+                          * platform.dram_pj_per_bit * 1e-3)
+        return KernelMeasure(kernel.name, platform.name,
+                             time_ns * 1e-6, energy_nj * 1e-6)

@@ -1,0 +1,95 @@
+"""k-nearest-neighbour digit classification (paper §5).
+
+Distance computation between the query and every reference vector is the
+PIM-friendly bulk of kNN: each reference is one SIMD lane, and the L1
+distance accumulates |x_d - q_d| over the feature dimensions using
+``sub``/``abs``/``add`` µPrograms.  The final top-k selection is a
+cross-lane operation done on the host after reading the distance vector
+back (charged as host work in the kernel model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import KernelModel, OpInvocation
+from repro.core.framework import Simdram
+from repro.errors import OperationError
+
+FEATURE_BITS = 8
+DIST_BITS = 16
+
+
+def knn_kernel(n_references: int = 60_000, n_features: int = 64,
+               n_queries: int = 100) -> KernelModel:
+    """Op mix of classifying ``n_queries`` against the reference set."""
+    per_query = n_references * n_features
+    total = per_query * n_queries
+    return KernelModel(
+        name="kNN",
+        description=(f"kNN: {n_queries} queries x {n_references} refs "
+                     f"x {n_features} features (L1 distance)"),
+        invocations=(
+            OpInvocation("sub", DIST_BITS, total),
+            OpInvocation("abs", DIST_BITS, total),
+            OpInvocation("add", DIST_BITS, total),
+        ),
+        transposed_bits=n_references * n_features * FEATURE_BITS,
+        host_bytes=n_queries * n_references * 2,  # distance readback
+    )
+
+
+def knn_classify_simdram(sim: Simdram, references: np.ndarray,
+                         labels: np.ndarray, queries: np.ndarray,
+                         k: int = 3) -> np.ndarray:
+    """Classify ``queries`` by majority label of the k L1-nearest refs.
+
+    ``references`` is (n_refs, n_features) uint8, ``queries`` is
+    (n_queries, n_features) uint8.  Distances are computed lane-parallel
+    with SIMDRAM ops; the top-k vote happens on the host.
+    """
+    references = np.asarray(references)
+    queries = np.asarray(queries)
+    labels = np.asarray(labels)
+    if references.ndim != 2 or queries.ndim != 2:
+        raise OperationError("references and queries must be 2-D")
+    if len(labels) != len(references):
+        raise OperationError("one label per reference required")
+    n_refs, n_features = references.shape
+
+    predictions = []
+    for query in queries:
+        distances = sim.array(np.zeros(n_refs, dtype=np.int64), DIST_BITS,
+                              signed=True)
+        for d in range(n_features):
+            column = sim.array(references[:, d].astype(np.int64),
+                               DIST_BITS, signed=True)
+            broadcast = sim.array(
+                np.full(n_refs, int(query[d]), dtype=np.int64),
+                DIST_BITS, signed=True)
+            diff = sim.run("sub", column, broadcast)
+            diff.signed = True
+            magnitude = sim.run("abs", diff)
+            new_distances = sim.run("add", distances, magnitude)
+            new_distances.signed = True
+            for stale in (column, broadcast, diff, magnitude, distances):
+                stale.free()
+            distances = new_distances
+        host_distances = distances.to_numpy()
+        distances.free()
+        nearest = np.argsort(host_distances, kind="stable")[:k]
+        votes = np.bincount(labels[nearest])
+        predictions.append(int(np.argmax(votes)))
+    return np.asarray(predictions)
+
+
+def knn_classify_golden(references: np.ndarray, labels: np.ndarray,
+                        queries: np.ndarray, k: int = 3) -> np.ndarray:
+    """Reference host implementation for tests."""
+    predictions = []
+    for query in np.asarray(queries):
+        dist = np.abs(references.astype(np.int64)
+                      - query.astype(np.int64)).sum(axis=1)
+        nearest = np.argsort(dist, kind="stable")[:k]
+        predictions.append(int(np.argmax(np.bincount(labels[nearest]))))
+    return np.asarray(predictions)

@@ -1,0 +1,84 @@
+"""TPC-H style selection + aggregation scan (databases, paper §5).
+
+Models the PIM-friendly core of TPC-H query processing: a predicated
+column scan (``WHERE quantity < threshold``) followed by a masked
+aggregate (``SUM(price)``) — one ``gt``, one ``if_else`` and one ``add``
+per row, with the final cross-lane sum reduction on the host.  The
+synthetic lineitem-like table preserves the columnar access pattern of
+the benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.common import KernelModel, OpInvocation
+from repro.core.framework import Simdram
+
+QUANTITY_BITS = 8
+PRICE_BITS = 16
+#: TPC-H scale factor 1 has ~6M lineitem rows.
+SF1_ROWS = 6_001_215
+
+
+def tpch_kernel(n_rows: int = SF1_ROWS) -> KernelModel:
+    """Op mix of one predicated aggregation scan over ``n_rows``."""
+    return KernelModel(
+        name="TPC-H",
+        description=f"predicated SUM scan over {n_rows} rows",
+        invocations=(
+            OpInvocation("gt", QUANTITY_BITS, n_rows),
+            OpInvocation("if_else", PRICE_BITS, n_rows),
+            OpInvocation("add", PRICE_BITS, n_rows),
+        ),
+        transposed_bits=n_rows * (QUANTITY_BITS + PRICE_BITS),
+        host_bytes=n_rows * 2,  # masked partials read back for final sum
+    )
+
+
+@dataclass(frozen=True)
+class LineitemTable:
+    """A synthetic columnar table with TPC-H-like columns."""
+
+    quantity: np.ndarray  # uint8
+    price: np.ndarray     # uint16 (scaled extended price)
+
+    @classmethod
+    def synthetic(cls, n_rows: int, seed: int = 0) -> "LineitemTable":
+        rng = np.random.default_rng(seed)
+        return cls(
+            quantity=rng.integers(1, 51, n_rows).astype(np.int64),
+            price=rng.integers(100, 20_000, n_rows).astype(np.int64),
+        )
+
+
+def filtered_sum_simdram(sim: Simdram, table: LineitemTable,
+                         quantity_below: int) -> int:
+    """``SELECT SUM(price) WHERE quantity < quantity_below`` via SIMDRAM.
+
+    The predicate and masking run as µPrograms; the final cross-lane sum
+    is a host reduction over the masked column (as in the paper, where
+    cross-lane reductions are host work).
+    """
+    n = len(table.quantity)
+    quantity = sim.array(table.quantity, QUANTITY_BITS)
+    threshold = sim.array(np.full(n, quantity_below, dtype=np.int64),
+                          QUANTITY_BITS)
+    selected = sim.run("gt", threshold, quantity)  # threshold > quantity
+
+    price = sim.array(table.price, PRICE_BITS)
+    zero = sim.array(np.zeros(n, dtype=np.int64), PRICE_BITS)
+    masked = sim.run("if_else", selected, price, zero)
+
+    partials = masked.to_numpy()
+    for arr in (quantity, threshold, selected, price, zero, masked):
+        arr.free()
+    return int(partials.sum())
+
+
+def filtered_sum_golden(table: LineitemTable, quantity_below: int) -> int:
+    """Reference host implementation for tests."""
+    mask = table.quantity < quantity_below
+    return int(table.price[mask].sum())

@@ -1,0 +1,127 @@
+"""Command-line interface: inspect and exercise the SIMDRAM framework.
+
+Examples::
+
+    python -m repro ops                        # list the operation catalog
+    python -m repro compile add 8              # show a µProgram
+    python -m repro compile mul 16 --backend ambit --full
+    python -m repro compare add 32             # all platforms, one op
+    python -m repro demo                       # end-to-end functional run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.core.compiler import compile_cached
+from repro.core.framework import Simdram, SimdramConfig
+from repro.core.operations import CATALOG, PAPER_OPERATIONS
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.perf.model import measure_all_platforms
+from repro.util.tables import format_table
+
+
+def _cmd_ops(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(CATALOG):
+        spec = CATALOG[name]
+        marker = "paper" if name in PAPER_OPERATIONS else "extension"
+        rows.append((name, spec.arity, spec.category, marker,
+                     spec.description))
+    print(format_table(
+        ["operation", "arity", "category", "origin", "description"],
+        rows, title=f"SIMDRAM operation catalog ({len(rows)} operations)"))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = compile_cached(args.op, args.width, args.backend)
+    timing = DramTiming.ddr4_2400()
+    print(program.listing(max_ops=None if args.full else 20))
+    print(f"\nlatency: {program.latency_ns(timing) / 1e3:.2f} us per batch "
+          f"of {DramGeometry.paper().cols} elements per bank")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    measures = measure_all_platforms(args.op, args.width)
+    rows = [(m.platform, round(m.throughput_gops, 3),
+             round(m.energy_nj_per_element, 5)) for m in measures]
+    print(format_table(
+        ["platform", "GOPS", "nJ/element"], rows,
+        title=f"{args.op} at {args.width}-bit across platforms"))
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    sim = Simdram(SimdramConfig(
+        geometry=DramGeometry.sim_small(cols=128, data_rows=512, banks=2)))
+    rng = np.random.default_rng(0)
+    a_host = rng.integers(0, 100, 200)
+    b_host = rng.integers(1, 100, 200)
+    a = sim.array(a_host, width=8)
+    b = sim.array(b_host, width=8)
+    for op, golden in (("add", (a_host + b_host) % 256),
+                       ("div", a_host // b_host),
+                       ("max", np.maximum(a_host, b_host))):
+        out = sim.run(op, a, b)
+        ok = np.array_equal(out.to_numpy(), golden)
+        stats = sim.last_stats
+        print(f"{op:4s}: {'OK' if ok else 'MISMATCH'}  "
+              f"({stats.n_aap} AAPs + {stats.n_ap} APs across "
+              f"{sim.config.geometry.banks} banks)")
+        out.free()
+        if not ok:
+            return 1
+    print("demo complete: results verified against numpy")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SIMDRAM (ASPLOS 2021) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ops", help="list the operation catalog")
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile one operation and print its µProgram")
+    compile_parser.add_argument("op", choices=sorted(CATALOG))
+    compile_parser.add_argument("width", type=int)
+    compile_parser.add_argument("--backend", default="simdram",
+                                choices=("simdram", "ambit"))
+    compile_parser.add_argument("--full", action="store_true",
+                                help="print every µOp")
+
+    compare_parser = sub.add_parser(
+        "compare", help="model one operation on all platforms")
+    compare_parser.add_argument("op", choices=sorted(CATALOG))
+    compare_parser.add_argument("width", type=int)
+
+    sub.add_parser("demo", help="run a functional end-to-end demo")
+    return parser
+
+
+_HANDLERS = {
+    "ops": _cmd_ops,
+    "compile": _cmd_compile,
+    "compare": _cmd_compare,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,394 @@
+"""The end-to-end SIMDRAM framework facade.
+
+:class:`Simdram` wires together every layer of the reproduction the way
+the paper's Figure 1 wires the real system:
+
+1. operations are compiled (Step 1+2) on first use and their µPrograms
+   installed into the control unit's scratchpad;
+2. host arrays enter DRAM through the transposition unit into vertical
+   row blocks managed by the allocator;
+3. a ``bbop`` instruction is formed, encoded/decoded through the ISA, and
+   dispatched to the control unit, which replays the µProgram across the
+   participating banks (Step 3).
+
+Typical use::
+
+    sim = Simdram()
+    a = sim.array([1, 2, 3, 4], width=8)
+    b = sim.array([10, 20, 30, 40], width=8)
+    total = sim.run("add", a, b)
+    print(total.to_numpy())        # [11 22 33 44]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compiler import compile_operation
+from repro.core.operations import (
+    CATALOG,
+    BuildFn,
+    GoldenFn,
+    OperationSpec,
+    get_operation,
+    register_operation,
+)
+from repro.dram.bank import DramModule
+from repro.dram.commands import CommandStats
+from repro.dram.energy import DramEnergy
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.errors import OperationError
+from repro.exec.control_unit import ControlUnit, ProgramKey
+from repro.exec.layout import RowLayout
+from repro.exec.memory import RowBlock, VerticalAllocator
+from repro.exec.tracker import ObjectTracker
+from repro.exec.transposition import TranspositionUnit
+from repro.isa.instructions import BbopInstruction, bbop, bbop_trsp_init
+from repro.uprog.program import MicroProgram
+from repro.uprog.scheduler import ScheduleOptions
+from repro.uprog.uops import INPUT_SPACES, Space
+
+
+@dataclass(frozen=True)
+class SimdramConfig:
+    """Configuration of a simulated SIMDRAM system."""
+
+    geometry: DramGeometry = field(default_factory=DramGeometry.sim_small)
+    timing: DramTiming = field(default_factory=DramTiming.ddr4_2400)
+    energy: DramEnergy = field(default_factory=DramEnergy.ddr4)
+    schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+    optimize_mig: bool = True
+    backend: str = "simdram"  # default substrate for compiled operations
+
+
+class SimdramArray:
+    """A handle to a vertically laid-out vector resident in DRAM."""
+
+    def __init__(self, framework: "Simdram", block: RowBlock,
+                 n_elements: int, width: int, signed: bool) -> None:
+        self._framework = framework
+        self.block = block
+        self.n_elements = n_elements
+        self.width = width
+        self.signed = signed
+        self._freed = False
+
+    def to_numpy(self) -> np.ndarray:
+        """Read the vector back to the host (through the transposer)."""
+        return self._framework.read(self)
+
+    def free(self) -> None:
+        """Release the underlying row block and its tracker entry."""
+        if not self._freed:
+            self._framework.tracker.release(self.block.base)
+            self._framework._allocator.free(self.block)
+            self._freed = True
+
+    def __len__(self) -> int:
+        return self.n_elements
+
+    def __repr__(self) -> str:
+        sign = "i" if self.signed else "u"
+        return (f"SimdramArray({self.n_elements} x {sign}{self.width}, "
+                f"rows [{self.block.base}, {self.block.end}))")
+
+
+class Simdram:
+    """End-to-end SIMDRAM system simulator and programming interface."""
+
+    def __init__(self, config: SimdramConfig | None = None,
+                 trace: bool = False, seed: int | None = 1) -> None:
+        self.config = config or SimdramConfig()
+        self.module = DramModule(self.config.geometry, trace=trace,
+                                 seed=seed)
+        self.control = ControlUnit()
+        self.transposer = TranspositionUnit(self.config.timing,
+                                            self.config.energy)
+        self.tracker = ObjectTracker(capacity=4096)
+        self._allocator = VerticalAllocator(self.config.geometry)
+        self._programs: dict[tuple[str, int, str], MicroProgram] = {}
+        #: Stats of the most recent :meth:`run` call.
+        self.last_stats: CommandStats | None = None
+        #: Instruction log (every bbop issued), for tests/inspection.
+        self.issued: list[BbopInstruction] = []
+
+    # ------------------------------------------------------------------
+    # operation management
+    # ------------------------------------------------------------------
+    def compile(self, op_name: str, width: int,
+                backend: str | None = None) -> MicroProgram:
+        """Compile (steps 1+2) and install an operation's µProgram."""
+        backend = backend or self.config.backend
+        key = (op_name, width, backend)
+        program = self._programs.get(key)
+        if program is None:
+            spec = get_operation(op_name)
+            # The configured schedule options describe *SIMDRAM's* Step-2
+            # scheduler; the Ambit baseline keeps its own default (fixed
+            # per-gate sequences, see compile_operation).
+            options = (self.config.schedule if backend == "simdram"
+                       else None)
+            program = compile_operation(
+                spec, width, backend=backend, options=options,
+                optimize_mig=self.config.optimize_mig)
+            self.control.install(program)
+            self._programs[key] = program
+        return program
+
+    def register_operation(self, name: str, arity: int, build: BuildFn,
+                           golden: GoldenFn, category: str = "user",
+                           description: str = "user-defined operation",
+                           **kwargs) -> OperationSpec:
+        """Register a new operation (the paper's flexibility claim)."""
+        return register_operation(name, arity, category, description,
+                                  build, golden, **kwargs)
+
+    @property
+    def operations(self) -> list[str]:
+        """Names of all currently registered operations."""
+        return sorted(CATALOG)
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def array(self, values, width: int, signed: bool = False) -> SimdramArray:
+        """Place a host vector into DRAM in vertical layout."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise OperationError("Simdram.array expects a 1-D vector")
+        if len(values) > self.module.lanes:
+            raise OperationError(
+                f"{len(values)} elements exceed the module's "
+                f"{self.module.lanes} SIMD lanes")
+        block = self._allocator.alloc(width)
+        self._announce(block, len(values), width)
+        self.transposer.host_to_vertical(self.module, block, values, width)
+        return SimdramArray(self, block, len(values), width, signed)
+
+    def empty(self, n_elements: int, width: int,
+              signed: bool = False) -> SimdramArray:
+        """Allocate an uninitialized vertical vector (e.g. for outputs)."""
+        block = self._allocator.alloc(width)
+        self._announce(block, n_elements, width)
+        return SimdramArray(self, block, n_elements, width, signed)
+
+    def _announce(self, block: RowBlock, n_elements: int,
+                  width: int) -> None:
+        """Issue bbop_trsp_init so the transposition unit tracks the
+        object (paper §4)."""
+        instruction = BbopInstruction.decode(
+            bbop_trsp_init(block.base, n_elements, width).encode())
+        self.issued.append(instruction)
+        self.tracker.register(block.base, n_elements, width)
+
+    def read(self, array: SimdramArray) -> np.ndarray:
+        """Read a vertical vector back into host (horizontal) layout."""
+        return self.transposer.vertical_to_host(
+            self.module, array.block, array.n_elements, array.width,
+            signed=array.signed)
+
+    # ------------------------------------------------------------------
+    # in-DRAM bulk copy / initialization (RowClone, paper §2)
+    # ------------------------------------------------------------------
+    def copy(self, array: SimdramArray) -> SimdramArray:
+        """Bulk-copy a vector inside DRAM via RowClone.
+
+        One AAP per bit row; no data crosses the channel — the mechanism
+        SIMDRAM also uses for its shift operations.
+        """
+        self.tracker.lookup(array.block.base)
+        out = self.empty(array.n_elements, array.width,
+                         signed=array.signed)
+        from repro.dram.rows import data_row
+        for bit in range(array.width):
+            self.module.broadcast_aap(data_row(array.block.base + bit),
+                                      data_row(out.block.base + bit))
+        return out
+
+    def fill(self, value: int, n_elements: int, width: int,
+             signed: bool = False) -> SimdramArray:
+        """Initialize a vector to a broadcast constant inside DRAM.
+
+        Each bit row is RowCloned from the C-group constant row matching
+        that bit of ``value`` — bulk initialization with zero host I/O.
+        """
+        from repro.dram.rows import ctrl_row, data_row
+        from repro.util.bitops import to_unsigned
+        encoded = int(to_unsigned(np.array([value]), width)[0])
+        out = self.empty(n_elements, width, signed=signed)
+        for bit in range(width):
+            source = ctrl_row((encoded >> bit) & 1)
+            self.module.broadcast_aap(source,
+                                      data_row(out.block.base + bit))
+        return out
+
+    def shift_left(self, array: SimdramArray, amount: int) -> SimdramArray:
+        """Elementwise logical left shift, entirely in DRAM (paper §2).
+
+        In vertical layout a shift is pure row bookkeeping: bit row ``i``
+        of the result is a RowClone copy of source bit row ``i - amount``,
+        and the vacated low rows are RowCloned from the all-zeros control
+        row.  No sense-amplifier computation happens at all.
+        """
+        return self._shift(array, amount, left=True)
+
+    def shift_right(self, array: SimdramArray,
+                    amount: int) -> SimdramArray:
+        """Elementwise logical right shift, entirely in DRAM (paper §2)."""
+        return self._shift(array, amount, left=False)
+
+    def _shift(self, array: SimdramArray, amount: int,
+               left: bool) -> SimdramArray:
+        from repro.dram.rows import ctrl_row, data_row
+        if amount < 0:
+            raise OperationError(f"shift amount must be >= 0, "
+                                 f"got {amount}")
+        self.tracker.lookup(array.block.base)
+        out = self.empty(array.n_elements, array.width, signed=False)
+        for bit in range(array.width):
+            source_bit = bit - amount if left else bit + amount
+            if 0 <= source_bit < array.width:
+                source = data_row(array.block.base + source_bit)
+            else:
+                source = ctrl_row(0)  # shifted-in zeros
+            self.module.broadcast_aap(source,
+                                      data_row(out.block.base + bit))
+        return out
+
+    # ------------------------------------------------------------------
+    # execution (Step 3)
+    # ------------------------------------------------------------------
+    def run(self, op_name: str, *operands: SimdramArray,
+            backend: str | None = None) -> SimdramArray:
+        """Execute an operation over DRAM-resident operands.
+
+        Forms the ``bbop`` instruction, round-trips it through the binary
+        ISA encoding (as the memory controller would receive it), and
+        replays the installed µProgram on every bank in lockstep.
+        """
+        spec = get_operation(op_name)
+        if len(operands) != spec.arity:
+            raise OperationError(
+                f"{op_name} takes {spec.arity} operands, "
+                f"got {len(operands)}")
+        width = operands[-1].width
+        expected_widths = spec.in_widths(width)
+        for i, (operand, expected) in enumerate(zip(operands,
+                                                    expected_widths)):
+            if operand.width != expected:
+                raise OperationError(
+                    f"{op_name} operand {i} must be {expected}-bit, "
+                    f"got {operand.width}-bit")
+        n_elements = operands[0].n_elements
+        if any(o.n_elements != n_elements for o in operands):
+            raise OperationError(
+                f"{op_name}: operand lengths differ: "
+                f"{[o.n_elements for o in operands]}")
+        for operand in operands:
+            # The control unit only computes on announced vertical
+            # objects (stale handles are caught here).
+            self.tracker.lookup(operand.block.base)
+
+        program = self.compile(op_name, width, backend)
+        out = self.empty(n_elements, spec.out_width(width),
+                         signed=spec.signed)
+        temp_block = None
+        if program.n_temp_rows:
+            temp_block = self._allocator.alloc(program.n_temp_rows)
+
+        # Form, encode and decode the bbop instruction (ISA round trip).
+        instruction = BbopInstruction.decode(bbop(
+            op_name, dst=out.block.base,
+            srcs=[o.block.base for o in operands],
+            n_elements=n_elements, element_width=width).encode())
+        self.issued.append(instruction)
+
+        bases = {Space.OUTPUT: instruction.dst}
+        instr_srcs = (instruction.src0, instruction.src1, instruction.src2)
+        for space, base in zip(INPUT_SPACES, instr_srcs[:spec.arity]):
+            bases[space] = base
+        if temp_block is not None:
+            bases[Space.TEMP] = temp_block.base
+        layout = RowLayout(bases)
+
+        key = ProgramKey(op_name, width, program.backend)
+        self.last_stats = self.control.execute_on_module(
+            self.control.lookup(key), self.module, layout)
+
+        if temp_block is not None:
+            self._allocator.free(temp_block)
+        return out
+
+    # ------------------------------------------------------------------
+    # streaming execution over host vectors of any length
+    # ------------------------------------------------------------------
+    def map(self, op_name: str, *host_operands, width: int = 8,
+            backend: str | None = None,
+            signed_inputs: bool = False) -> np.ndarray:
+        """Run an operation over host vectors of arbitrary length.
+
+        Vectors longer than the module's SIMD lanes are processed in
+        lane-sized batches, the paper's execution model for large
+        inputs.  Per batch, operands are transposed in, the µProgram
+        runs, results are transposed out, and all rows are released.
+
+        ``width`` is the element width in bits; operands with a
+        fixed-width interface (e.g. ``if_else``'s 1-bit select) are
+        sized per the operation's spec automatically.
+        """
+        spec = get_operation(op_name)
+        if len(host_operands) != spec.arity:
+            raise OperationError(
+                f"{op_name} takes {spec.arity} operands, "
+                f"got {len(host_operands)}")
+        vectors = [np.asarray(values) for values in host_operands]
+        n_total = len(vectors[0])
+        if any(len(v) != n_total for v in vectors):
+            raise OperationError(
+                f"{op_name}: operand lengths differ: "
+                f"{[len(v) for v in vectors]}")
+        if n_total == 0:
+            raise OperationError("map needs at least one element")
+
+        operand_widths = spec.in_widths(width)
+        lanes = self.module.lanes
+        chunks = []
+        for start in range(0, n_total, lanes):
+            stop = min(start + lanes, n_total)
+            arrays = [
+                self.array(values[start:stop], in_width,
+                           signed=signed_inputs)
+                for values, in_width in zip(vectors, operand_widths)
+            ]
+            out = self.run(op_name, *arrays, backend=backend)
+            chunks.append(out.to_numpy())
+            for array in arrays:
+                array.free()
+            out.free()
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def last_latency_ns(self) -> float:
+        """Latency of the last run (banks operate in parallel)."""
+        if self.last_stats is None:
+            raise OperationError("no operation has been run yet")
+        per_bank = self.last_stats.scaled(1)
+        # All banks execute the same stream concurrently; latency is the
+        # single-bank command latency.
+        banks = self.config.geometry.banks
+        return CommandStats(
+            n_ap=per_bank.n_ap // banks,
+            n_aap=per_bank.n_aap // banks,
+        ).latency_ns(self.config.timing)
+
+    def last_energy_nj(self) -> float:
+        """DRAM energy of the last run (all banks)."""
+        if self.last_stats is None:
+            raise OperationError("no operation has been run yet")
+        return self.last_stats.energy_nj(
+            self.config.timing, self.config.geometry, self.config.energy)

@@ -1,0 +1,48 @@
+"""DRAM substrate: geometry, timing, energy, rows and the bit-accurate
+subarray/bank/module simulator that SIMDRAM and Ambit both execute on."""
+
+from repro.dram.bank import Bank, DramModule
+from repro.dram.commands import CommandStats, CommandTrace, TraceEntry
+from repro.dram.energy import DramEnergy
+from repro.dram.geometry import DramGeometry, N_BITWISE_ROWS, N_CONTROL_ROWS
+from repro.dram.rows import (
+    B_ADDRESS_MAP,
+    DCC_PAIRS,
+    TRA_TRIPLES,
+    WORDLINE_ADDRESS,
+    RowAddress,
+    RowGroup,
+    Wordline,
+    b_row,
+    ctrl_row,
+    data_row,
+    tra_address,
+)
+from repro.dram.subarray import Subarray, majority3
+from repro.dram.timing import DramTiming
+
+__all__ = [
+    "Bank",
+    "DramModule",
+    "CommandStats",
+    "CommandTrace",
+    "TraceEntry",
+    "DramEnergy",
+    "DramGeometry",
+    "N_BITWISE_ROWS",
+    "N_CONTROL_ROWS",
+    "B_ADDRESS_MAP",
+    "DCC_PAIRS",
+    "TRA_TRIPLES",
+    "WORDLINE_ADDRESS",
+    "RowAddress",
+    "RowGroup",
+    "Wordline",
+    "b_row",
+    "ctrl_row",
+    "data_row",
+    "tra_address",
+    "Subarray",
+    "majority3",
+    "DramTiming",
+]

@@ -1,0 +1,118 @@
+"""Bank and module layers above the subarray simulator.
+
+Like Ambit, SIMDRAM computes in one subarray per bank at a time; the
+throughput knob is the *number of banks* computing in lockstep
+(``SIMDRAM:1/4/16`` in the paper).  :class:`DramModule` models that: the
+control unit broadcasts each µOp to all participating banks, and the
+vector being processed is striped across the banks' columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.commands import CommandStats
+from repro.dram.geometry import DramGeometry
+from repro.dram.rows import RowAddress
+from repro.dram.subarray import Subarray
+from repro.errors import GeometryError
+
+
+class Bank:
+    """One DRAM bank exposing its active compute subarray."""
+
+    def __init__(self, geometry: DramGeometry, bank_id: int,
+                 trace: bool = False,
+                 rng: np.random.Generator | None = None) -> None:
+        self.geometry = geometry
+        self.bank_id = bank_id
+        self.subarray = Subarray(geometry, trace=trace, rng=rng)
+
+    @property
+    def stats(self) -> CommandStats:
+        """Command statistics of the active subarray."""
+        return self.subarray.stats
+
+    def ap(self, address: RowAddress) -> None:
+        """Issue an AP to the active subarray."""
+        self.subarray.ap(address)
+
+    def aap(self, src: RowAddress, dst: RowAddress) -> None:
+        """Issue an AAP to the active subarray."""
+        self.subarray.aap(src, dst)
+
+
+class DramModule:
+    """A module of ``banks`` identical banks computing in lockstep.
+
+    The module is the functional-simulation counterpart of the paper's
+    ``SIMDRAM:B`` configurations: a µOp broadcast reaches every bank, and
+    a logical vector of up to ``banks * cols`` elements is striped across
+    banks (element ``i`` lives in bank ``i // cols``, column ``i % cols``).
+    """
+
+    def __init__(self, geometry: DramGeometry, trace: bool = False,
+                 seed: int | None = None) -> None:
+        self.geometry = geometry
+        rngs: list[np.random.Generator | None]
+        if seed is None:
+            rngs = [None] * geometry.banks
+        else:
+            seq = np.random.SeedSequence(seed)
+            rngs = [np.random.default_rng(s)
+                    for s in seq.spawn(geometry.banks)]
+        self.banks = [Bank(geometry, bank_id=i, trace=trace, rng=rngs[i])
+                      for i in range(geometry.banks)]
+
+    @property
+    def lanes(self) -> int:
+        """Total SIMD lanes across all banks."""
+        return self.geometry.banks * self.geometry.cols
+
+    def broadcast_ap(self, address: RowAddress,
+                     n_banks: int | None = None) -> None:
+        """Issue an AP to the first ``n_banks`` banks (all by default)."""
+        for bank in self._active(n_banks):
+            bank.ap(address)
+
+    def broadcast_aap(self, src: RowAddress, dst: RowAddress,
+                      n_banks: int | None = None) -> None:
+        """Issue an AAP to the first ``n_banks`` banks (all by default)."""
+        for bank in self._active(n_banks):
+            bank.aap(src, dst)
+
+    def _active(self, n_banks: int | None) -> list[Bank]:
+        if n_banks is None:
+            return self.banks
+        if not 1 <= n_banks <= len(self.banks):
+            raise GeometryError(
+                f"n_banks must be in [1, {len(self.banks)}], got {n_banks}")
+        return self.banks[:n_banks]
+
+    def total_stats(self) -> CommandStats:
+        """Merged command statistics across all banks."""
+        total = CommandStats()
+        for bank in self.banks:
+            total = total.merged_with(bank.stats)
+        return total
+
+    # ------------------------------------------------------------------
+    # striped row access: logical rows spanning all banks
+    # ------------------------------------------------------------------
+    def write_striped(self, address: RowAddress, bits: np.ndarray) -> None:
+        """Write a logical row of ``lanes`` bits, striped across banks."""
+        bits = np.asarray(bits, dtype=bool)
+        cols = self.geometry.cols
+        if bits.shape != (self.lanes,):
+            raise GeometryError(
+                f"striped row must have {self.lanes} bits, got {bits.shape}")
+        for i, bank in enumerate(self.banks):
+            bank.subarray.write_row(address, bits[i * cols:(i + 1) * cols])
+
+    def read_striped(self, address: RowAddress) -> np.ndarray:
+        """Read a logical row of ``lanes`` bits, striped across banks."""
+        cols = self.geometry.cols
+        out = np.empty(self.lanes, dtype=bool)
+        for i, bank in enumerate(self.banks):
+            out[i * cols:(i + 1) * cols] = bank.subarray.read_row(address)
+        return out

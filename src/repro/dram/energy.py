@@ -1,0 +1,86 @@
+"""IDD-based DRAM energy model.
+
+Energy per command is derived from datasheet supply currents using the
+standard Micron power-calculation method: the incremental energy of one
+ACTIVATE-PRECHARGE cycle per chip is
+
+    E_act = (IDD0 * tRC - IDD3N * tRAS - IDD2N * tRP) * VDD
+
+and a rank of ``chips_per_rank`` devices activates its row segments in
+lockstep, so rank energy is the per-chip value times the chip count.
+Multi-wordline activations (RowClone doubles, TRA triples) restore more
+cells, modeled as a small per-extra-wordline surcharge
+(``extra_wordline_factor``), following the SIMDRAM/Ambit energy accounting.
+
+Host I/O energy (used by the transposition-unit cost model) is charged per
+bit moved over the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramEnergy:
+    """Per-command DRAM energy model (derived from IDD currents).
+
+    Defaults model a DDR4-2400 x8 device: IDD0=55 mA, IDD3N=42 mA,
+    IDD2N=37 mA, VDD=1.2 V.
+    """
+
+    idd0_ma: float = 55.0
+    idd3n_ma: float = 42.0
+    idd2n_ma: float = 37.0
+    vdd_v: float = 1.2
+    #: Extra activation energy per additional simultaneously-raised
+    #: wordline (cell restore current), as a fraction of E_act.
+    extra_wordline_factor: float = 0.15
+    #: Channel I/O + on-die datapath energy per bit read/written by host.
+    io_pj_per_bit: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.idd0_ma <= self.idd3n_ma:
+            raise ConfigError("IDD0 must exceed IDD3N")
+        if self.vdd_v <= 0:
+            raise ConfigError("VDD must be positive")
+        if not 0 <= self.extra_wordline_factor < 1:
+            raise ConfigError("extra_wordline_factor must be in [0, 1)")
+
+    def act_pre_nj_chip(self, timing: DramTiming) -> float:
+        """Incremental energy of one ACT-PRE cycle on a single chip (nJ)."""
+        charge_mans = (self.idd0_ma * timing.t_rc_ns
+                       - self.idd3n_ma * timing.t_ras_ns
+                       - self.idd2n_ma * timing.t_rp_ns)
+        return charge_mans * self.vdd_v * 1e-3  # mA*ns*V = pJ; /1e3 -> nJ
+
+    def act_pre_nj(self, timing: DramTiming, geometry: DramGeometry,
+                   n_wordlines: int = 1) -> float:
+        """Rank energy of one ACT-PRE cycle raising ``n_wordlines`` rows."""
+        base = self.act_pre_nj_chip(timing) * geometry.chips_per_rank
+        return base * (1.0 + self.extra_wordline_factor * (n_wordlines - 1))
+
+    def ap_nj(self, timing: DramTiming, geometry: DramGeometry,
+              n_wordlines: int = 3) -> float:
+        """Energy of one AP command (a TRA activates three wordlines)."""
+        return self.act_pre_nj(timing, geometry, n_wordlines)
+
+    def aap_nj(self, timing: DramTiming, geometry: DramGeometry,
+               src_wordlines: int = 1, dst_wordlines: int = 1) -> float:
+        """Energy of one AAP command: two back-to-back activations."""
+        src = self.act_pre_nj(timing, geometry, src_wordlines)
+        dst = self.act_pre_nj(timing, geometry, dst_wordlines)
+        return src + dst
+
+    def io_nj(self, n_bits: int) -> float:
+        """Energy to move ``n_bits`` over the channel (host read/write)."""
+        return n_bits * self.io_pj_per_bit * 1e-3
+
+    @classmethod
+    def ddr4(cls) -> "DramEnergy":
+        """The paper's DDR4 energy constants."""
+        return cls()

@@ -1,0 +1,166 @@
+"""Row address space of a SIMDRAM subarray.
+
+A subarray exposes three row groups (Ambit §5.2, reused unchanged by
+SIMDRAM):
+
+* **D-group** — regular data rows holding vertically-laid-out operands and
+  compiler temporaries.
+* **C-group** — two control rows, ``C0`` (all zeros) and ``C1`` (all
+  ones), used as the constant third operand that turns a majority into
+  AND/OR.
+* **B-group** — eight wordlines ``T0..T3, DCC0, !DCC0, DCC1, !DCC1``
+  driven by a special row decoder with sixteen *reserved addresses*; an
+  address may raise one, two, or three wordlines at once.  Raising three
+  wordlines performs a triple-row activation (TRA) that computes the
+  bitwise majority of the three rows.  ``DCCi``/``!DCCi`` are the two
+  ports of a dual-contact cell: they always read as complements of each
+  other, which is how SIMDRAM obtains NOT.
+
+The sixteen B-group addresses below follow Table 1 of the Ambit paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+
+class RowGroup(enum.Enum):
+    """The three row groups of a compute-capable subarray."""
+
+    DATA = "D"
+    CTRL = "C"
+    BITWISE = "B"
+
+
+class Wordline(enum.IntEnum):
+    """Physical B-group wordlines."""
+
+    T0 = 0
+    T1 = 1
+    T2 = 2
+    T3 = 3
+    DCC0 = 4
+    DCC0N = 5
+    DCC1 = 6
+    DCC1N = 7
+
+
+#: Wordlines whose cell is shared with a complemented port.
+DCC_PAIRS: dict[Wordline, Wordline] = {
+    Wordline.DCC0: Wordline.DCC0N,
+    Wordline.DCC0N: Wordline.DCC0,
+    Wordline.DCC1: Wordline.DCC1N,
+    Wordline.DCC1N: Wordline.DCC1,
+}
+
+#: B-group reserved-address decoder (Ambit, Table 1): address index ->
+#: simultaneously raised wordlines.
+B_ADDRESS_MAP: dict[int, tuple[Wordline, ...]] = {
+    0: (Wordline.T0,),
+    1: (Wordline.T1,),
+    2: (Wordline.T2,),
+    3: (Wordline.T3,),
+    4: (Wordline.DCC0N,),
+    5: (Wordline.DCC1N,),
+    6: (Wordline.DCC0,),
+    7: (Wordline.DCC1,),
+    8: (Wordline.DCC0N, Wordline.T0),
+    9: (Wordline.DCC1N, Wordline.T1),
+    10: (Wordline.T2, Wordline.T3),
+    11: (Wordline.T0, Wordline.T3),
+    12: (Wordline.T0, Wordline.T1, Wordline.T2),
+    13: (Wordline.T1, Wordline.T2, Wordline.T3),
+    14: (Wordline.DCC0N, Wordline.T1, Wordline.T2),
+    15: (Wordline.DCC1N, Wordline.T0, Wordline.T3),
+}
+
+#: The four TRA-capable wordline triples and the B address that fires each.
+TRA_TRIPLES: dict[frozenset[Wordline], int] = {
+    frozenset(wls): addr for addr, wls in B_ADDRESS_MAP.items()
+    if len(wls) == 3
+}
+
+
+@dataclass(frozen=True, order=True)
+class RowAddress:
+    """An address in a subarray's row space.
+
+    ``index`` means: D-group — data row number; C-group — 0 for the
+    all-zeros row, 1 for the all-ones row; B-group — one of the sixteen
+    reserved decoder addresses of :data:`B_ADDRESS_MAP`.
+    """
+
+    group: RowGroup
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.group is RowGroup.CTRL and self.index not in (0, 1):
+            raise AddressError(f"C-group has rows 0 and 1, got {self.index}")
+        if self.group is RowGroup.BITWISE and self.index not in B_ADDRESS_MAP:
+            raise AddressError(
+                f"B-group has reserved addresses 0..15, got {self.index}")
+        if self.group is RowGroup.DATA and self.index < 0:
+            raise AddressError(f"negative data row {self.index}")
+
+    def wordlines(self) -> tuple[Wordline, ...]:
+        """B-group wordlines raised by this address (empty for D/C rows)."""
+        if self.group is RowGroup.BITWISE:
+            return B_ADDRESS_MAP[self.index]
+        return ()
+
+    @property
+    def n_wordlines(self) -> int:
+        """How many wordlines this address raises (1 for D/C rows)."""
+        return len(self.wordlines()) if self.group is RowGroup.BITWISE else 1
+
+    def __str__(self) -> str:
+        if self.group is RowGroup.BITWISE:
+            names = "+".join(w.name for w in self.wordlines())
+            return f"B{self.index}({names})"
+        if self.group is RowGroup.CTRL:
+            return f"C{self.index}"
+        return f"D{self.index}"
+
+
+def data_row(index: int) -> RowAddress:
+    """Shorthand for a D-group row address."""
+    return RowAddress(RowGroup.DATA, index)
+
+
+def ctrl_row(index: int) -> RowAddress:
+    """Shorthand for a C-group row address (0 = zeros, 1 = ones)."""
+    return RowAddress(RowGroup.CTRL, index)
+
+
+def b_row(index: int) -> RowAddress:
+    """Shorthand for a B-group reserved address."""
+    return RowAddress(RowGroup.BITWISE, index)
+
+
+#: Single-wordline B addresses for each physical wordline.
+WORDLINE_ADDRESS: dict[Wordline, RowAddress] = {
+    Wordline.T0: b_row(0),
+    Wordline.T1: b_row(1),
+    Wordline.T2: b_row(2),
+    Wordline.T3: b_row(3),
+    Wordline.DCC0N: b_row(4),
+    Wordline.DCC1N: b_row(5),
+    Wordline.DCC0: b_row(6),
+    Wordline.DCC1: b_row(7),
+}
+
+
+def tra_address(wordlines: frozenset[Wordline]) -> RowAddress:
+    """Return the B-group address that fires a TRA on ``wordlines``.
+
+    Raises :class:`AddressError` if the triple is not wired in the B-group
+    decoder (only the four triples of :data:`TRA_TRIPLES` exist).
+    """
+    addr = TRA_TRIPLES.get(wordlines)
+    if addr is None:
+        names = "+".join(sorted(w.name for w in wordlines))
+        raise AddressError(f"no TRA address for wordline set {names}")
+    return b_row(addr)

@@ -1,0 +1,72 @@
+"""DDR timing parameters and latency of the Ambit/SIMDRAM command primitives.
+
+SIMDRAM executes µPrograms made of two composite commands (Ambit §5):
+
+* ``AP``  (ACTIVATE → PRECHARGE): performs a triple-row activation (TRA)
+  when the activated address maps to three wordlines; latency
+  ``tRAS + tRP``.
+* ``AAP`` (ACTIVATE → ACTIVATE → PRECHARGE): RowClone-FPM copy of the
+  first row (or TRA result) into the second; latency ``2*tRAS + tRP``.
+  This is conservative — Ambit overlaps part of the second activation —
+  but the same constant applies to SIMDRAM and the Ambit baseline, so all
+  relative results are unaffected (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """DDR timing parameters (nanoseconds) plus channel I/O rate.
+
+    Defaults model DDR4-2400 (the configuration used in the paper's
+    evaluation): tRAS=32 ns, tRP=13.32 ns, tRCD=13.32 ns, 19.2 GB/s pin
+    bandwidth per channel.
+    """
+
+    t_ras_ns: float = 32.0
+    t_rp_ns: float = 13.32
+    t_rcd_ns: float = 13.32
+    t_ck_ns: float = 0.833
+    channel_gbps: float = 19.2  # GB/s of the DDR4-2400 channel
+
+    def __post_init__(self) -> None:
+        for name in ("t_ras_ns", "t_rp_ns", "t_rcd_ns", "t_ck_ns",
+                     "channel_gbps"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def t_rc_ns(self) -> float:
+        """Row cycle time: ACTIVATE-to-ACTIVATE on the same bank."""
+        return self.t_ras_ns + self.t_rp_ns
+
+    @property
+    def ap_ns(self) -> float:
+        """Latency of one AP command (ACTIVATE, PRECHARGE)."""
+        return self.t_ras_ns + self.t_rp_ns
+
+    @property
+    def aap_ns(self) -> float:
+        """Latency of one AAP command (ACTIVATE, ACTIVATE, PRECHARGE)."""
+        return 2.0 * self.t_ras_ns + self.t_rp_ns
+
+    def io_ns_per_byte(self) -> float:
+        """Time to move one byte over the channel at full bandwidth."""
+        return 1.0 / self.channel_gbps  # GB/s == bytes/ns
+
+    @classmethod
+    def ddr4_2400(cls) -> "DramTiming":
+        """The paper's DDR4-2400 timing."""
+        return cls()
+
+    @classmethod
+    def ddr3_1600(cls) -> "DramTiming":
+        """DDR3-1600 (the Ambit paper's configuration), for sensitivity
+        studies: tRAS=35 ns, tRP=13.75 ns, 12.8 GB/s channel."""
+        return cls(t_ras_ns=35.0, t_rp_ns=13.75, t_rcd_ns=13.75,
+                   t_ck_ns=1.25, channel_gbps=12.8)

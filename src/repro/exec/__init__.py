@@ -1,0 +1,20 @@
+"""Execution layer (Step 3): control unit, row layout binding, vertical
+memory allocation and the transposition unit."""
+
+from repro.exec.control_unit import ControlUnit, ProgramKey
+from repro.exec.layout import RowLayout
+from repro.exec.memory import RowBlock, VerticalAllocator
+from repro.exec.tracker import ObjectTracker, TrackedObject
+from repro.exec.transposition import TranspositionCost, TranspositionUnit
+
+__all__ = [
+    "ControlUnit",
+    "ProgramKey",
+    "RowLayout",
+    "RowBlock",
+    "VerticalAllocator",
+    "ObjectTracker",
+    "TrackedObject",
+    "TranspositionCost",
+    "TranspositionUnit",
+]

@@ -1,0 +1,114 @@
+"""The SIMDRAM control unit (Step 3 of the framework).
+
+The control unit lives in the memory controller.  It holds the µProgram
+scratchpad (programs are installed once, at boot in the paper), and on
+every ``bbop`` instruction it replays the matching µProgram as a stream
+of AAP/AP commands to the participating banks, transparently to the
+user (paper §3, step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.bank import DramModule
+from repro.dram.commands import CommandStats
+from repro.dram.subarray import Subarray
+from repro.errors import ExecutionError
+from repro.exec.layout import RowLayout
+from repro.uprog.program import MicroProgram
+from repro.uprog.uops import UAap, UAp
+
+#: Default scratchpad capacity in µOps.  The paper stores each operation's
+#: µProgram in a small memory inside the controller; we size it generously
+#: because our µPrograms are fully unrolled (no loop registers).
+DEFAULT_SCRATCHPAD_UOPS = 1 << 20
+
+
+@dataclass(frozen=True)
+class ProgramKey:
+    """Identity of an installed µProgram."""
+
+    op_name: str
+    element_width: int
+    backend: str
+
+
+class ControlUnit:
+    """Holds installed µPrograms and replays them on DRAM banks."""
+
+    def __init__(self, scratchpad_uops: int = DEFAULT_SCRATCHPAD_UOPS) -> None:
+        self.scratchpad_uops = scratchpad_uops
+        self._programs: dict[ProgramKey, MicroProgram] = {}
+
+    # ------------------------------------------------------------------
+    # µProgram installation
+    # ------------------------------------------------------------------
+    def install(self, program: MicroProgram) -> ProgramKey:
+        """Install a µProgram into the scratchpad (checks capacity)."""
+        key = ProgramKey(program.op_name, program.element_width,
+                         program.backend)
+        used = self.used_uops()
+        existing = self._programs.get(key)
+        if existing is not None:  # reinstalling replaces the old copy
+            used -= len(existing.uops)
+        if used + len(program.uops) > self.scratchpad_uops:
+            raise ExecutionError(
+                f"µProgram scratchpad overflow: {used} + "
+                f"{len(program.uops)} µOps > {self.scratchpad_uops}")
+        self._programs[key] = program
+        return key
+
+    def used_uops(self) -> int:
+        """Total µOps currently installed."""
+        return sum(len(p.uops) for p in self._programs.values())
+
+    def lookup(self, key: ProgramKey) -> MicroProgram:
+        program = self._programs.get(key)
+        if program is None:
+            raise ExecutionError(f"no µProgram installed for {key}")
+        return program
+
+    @property
+    def installed(self) -> list[ProgramKey]:
+        return list(self._programs)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, program: MicroProgram, subarray: Subarray,
+                layout: RowLayout) -> CommandStats:
+        """Replay a µProgram on one subarray; returns the command stats."""
+        layout.check(program, subarray.geometry)
+        before = CommandStats().merged_with(subarray.stats)
+        for uop in program.uops:
+            if isinstance(uop, UAp):
+                subarray.ap(layout.resolve(uop.addr))
+            elif isinstance(uop, UAap):
+                subarray.aap(layout.resolve(uop.src),
+                             layout.resolve(uop.dst))
+            else:
+                raise ExecutionError(f"unknown µOp {uop!r}")
+        after = subarray.stats
+        return CommandStats(
+            n_ap=after.n_ap - before.n_ap,
+            n_aap=after.n_aap - before.n_aap,
+            ap_wordlines=after.ap_wordlines - before.ap_wordlines,
+            aap_src_wordlines=(after.aap_src_wordlines
+                               - before.aap_src_wordlines),
+            aap_dst_wordlines=(after.aap_dst_wordlines
+                               - before.aap_dst_wordlines),
+        )
+
+    def execute_on_module(self, program: MicroProgram, module: DramModule,
+                          layout: RowLayout,
+                          n_banks: int | None = None) -> CommandStats:
+        """Broadcast a µProgram to ``n_banks`` banks in lockstep."""
+        banks = module.banks if n_banks is None else module.banks[:n_banks]
+        if not banks:
+            raise ExecutionError("no banks selected for execution")
+        stats = CommandStats()
+        for bank in banks:
+            stats = stats.merged_with(
+                self.execute(program, bank.subarray, layout))
+        return stats

@@ -1,0 +1,78 @@
+"""Vertical-layout memory management for compute subarrays.
+
+SIMDRAM stores PIM operands *vertically*: an ``n``-bit vector element
+occupies one column across ``n`` consecutive rows, so a vector of up to
+``cols`` elements is an ``n``-row *block*.  :class:`VerticalAllocator`
+hands out non-overlapping row blocks inside a subarray's D-group, which
+is how the framework lays out operation inputs, outputs and the
+compiler's temporary region before building a :class:`RowLayout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class RowBlock:
+    """A block of ``width`` consecutive D-group rows starting at ``base``."""
+
+    base: int
+    width: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.width
+
+
+class VerticalAllocator:
+    """First-fit allocator over a subarray's D-group rows."""
+
+    def __init__(self, geometry: DramGeometry) -> None:
+        self.geometry = geometry
+        self._free: list[tuple[int, int]] = [(0, geometry.data_rows)]
+        self._allocated: dict[int, RowBlock] = {}
+
+    def alloc(self, width: int) -> RowBlock:
+        """Allocate ``width`` consecutive rows; first fit."""
+        if width < 1:
+            raise AllocationError(f"block width must be >= 1, got {width}")
+        for i, (base, size) in enumerate(self._free):
+            if size >= width:
+                block = RowBlock(base, width)
+                remaining = size - width
+                if remaining:
+                    self._free[i] = (base + width, remaining)
+                else:
+                    del self._free[i]
+                self._allocated[block.base] = block
+                return block
+        raise AllocationError(
+            f"cannot allocate {width} rows: "
+            f"{self.free_rows()} free (fragmented into "
+            f"{len(self._free)} extents)")
+
+    def free(self, block: RowBlock) -> None:
+        """Return a block to the free list (coalescing neighbours)."""
+        stored = self._allocated.pop(block.base, None)
+        if stored != block:
+            raise AllocationError(f"block {block} is not allocated")
+        extents = sorted(self._free + [(block.base, block.width)])
+        merged: list[tuple[int, int]] = []
+        for base, size in extents:
+            if merged and merged[-1][0] + merged[-1][1] == base:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((base, size))
+        self._free = merged
+
+    def free_rows(self) -> int:
+        """Total unallocated rows."""
+        return sum(size for _, size in self._free)
+
+    @property
+    def allocated_blocks(self) -> list[RowBlock]:
+        return sorted(self._allocated.values(), key=lambda b: b.base)

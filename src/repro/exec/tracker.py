@@ -1,0 +1,79 @@
+"""Object tracking for the transposition unit (paper §4).
+
+The ``bbop_trsp_init`` instruction announces that a memory object will
+be accessed in vertical layout; the transposition unit keeps a small
+table of such objects so it can transpose cache lines on the fly when
+the CPU touches them, while everything else stays horizontal.  This
+module is that table: the framework registers every vertical array here
+and the control unit refuses to operate on untracked base rows, which
+catches stale or mistyped operand addresses at dispatch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, OperationError
+
+
+@dataclass(frozen=True)
+class TrackedObject:
+    """One vertically laid-out object known to the transposition unit."""
+
+    base_row: int
+    n_elements: int
+    width: int
+
+    @property
+    def rows(self) -> range:
+        return range(self.base_row, self.base_row + self.width)
+
+
+class ObjectTracker:
+    """The transposition unit's vertical-object table."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise OperationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._objects: dict[int, TrackedObject] = {}
+
+    def register(self, base_row: int, n_elements: int,
+                 width: int) -> TrackedObject:
+        """Track a new vertical object (a ``bbop_trsp_init``)."""
+        if base_row in self._objects:
+            raise AllocationError(
+                f"row {base_row} already tracks a vertical object")
+        if len(self._objects) >= self.capacity:
+            raise AllocationError(
+                f"transposition unit object table full "
+                f"({self.capacity} entries)")
+        obj = TrackedObject(base_row, n_elements, width)
+        self._objects[base_row] = obj
+        return obj
+
+    def lookup(self, base_row: int) -> TrackedObject:
+        """Fetch the object at ``base_row``; raises when untracked."""
+        obj = self._objects.get(base_row)
+        if obj is None:
+            raise OperationError(
+                f"row {base_row} is not a tracked vertical object; "
+                "issue bbop_trsp_init first")
+        return obj
+
+    def is_tracked(self, base_row: int) -> bool:
+        return base_row in self._objects
+
+    def release(self, base_row: int) -> None:
+        """Stop tracking (object transposed back / freed)."""
+        if base_row not in self._objects:
+            raise AllocationError(
+                f"row {base_row} does not track a vertical object")
+        del self._objects[base_row]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def objects(self) -> list[TrackedObject]:
+        return sorted(self._objects.values(), key=lambda o: o.base_row)

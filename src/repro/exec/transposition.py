@@ -1,0 +1,107 @@
+"""The SIMDRAM transposition unit.
+
+The paper adds a transposition unit to the memory controller so that
+most data can stay in the CPU-friendly *horizontal* layout while operands
+of in-DRAM computation are stored *vertically* (all bits of an element in
+one column).  This module provides both:
+
+* the functional behaviour — converting numpy integer vectors to vertical
+  bit rows (and back) and moving them through the module's host datapath
+  (which the simulator accounts as host I/O bits), and
+* the cost model — transposition happens at channel bandwidth in the
+  controller (the unit transposes 64-bit chunks with negligible extra
+  latency), so the cost of transposing a vector is the cost of streaming
+  it over the channel, counted by :meth:`transpose_cost_ns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.bank import DramModule
+from repro.dram.energy import DramEnergy
+from repro.dram.rows import data_row
+from repro.dram.timing import DramTiming
+from repro.errors import OperationError
+from repro.exec.memory import RowBlock
+from repro.util.bitops import bits_to_ints, ints_to_bits, to_signed
+
+
+@dataclass(frozen=True)
+class TranspositionCost:
+    """Latency/energy of moving one operand through the controller."""
+
+    bytes_moved: int
+    latency_ns: float
+    energy_nj: float
+
+
+class TranspositionUnit:
+    """Horizontal <-> vertical conversion at the memory controller."""
+
+    def __init__(self, timing: DramTiming | None = None,
+                 energy: DramEnergy | None = None) -> None:
+        self.timing = timing or DramTiming.ddr4_2400()
+        self.energy = energy or DramEnergy.ddr4()
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def transpose_cost(self, n_elements: int, width: int) -> TranspositionCost:
+        """Cost of transposing ``n_elements`` ``width``-bit elements.
+
+        The unit streams the data once over the channel; the transpose
+        itself is pipelined behind the transfer (paper §4).
+        """
+        bits = n_elements * width
+        bytes_moved = (bits + 7) // 8
+        latency = bytes_moved * self.timing.io_ns_per_byte()
+        return TranspositionCost(
+            bytes_moved=bytes_moved,
+            latency_ns=latency,
+            energy_nj=self.energy.io_nj(bits),
+        )
+
+    # ------------------------------------------------------------------
+    # functional behaviour on the simulated module
+    # ------------------------------------------------------------------
+    def host_to_vertical(self, module: DramModule, block: RowBlock,
+                         values: np.ndarray, width: int) -> None:
+        """Write integer ``values`` vertically into ``block``'s rows.
+
+        Elements are striped across banks; unused columns are zero-padded.
+        """
+        if block.width < width:
+            raise OperationError(
+                f"block has {block.width} rows, need {width}")
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise OperationError("expected a 1-D vector of elements")
+        if len(values) > module.lanes:
+            raise OperationError(
+                f"{len(values)} elements exceed {module.lanes} lanes")
+        padded = np.zeros(module.lanes, dtype=np.int64)
+        padded[:len(values)] = values
+        bits = ints_to_bits(padded, width)
+        for i in range(width):
+            module.write_striped(data_row(block.base + i), bits[i])
+
+    def vertical_to_host(self, module: DramModule, block: RowBlock,
+                         n_elements: int, width: int,
+                         signed: bool = False) -> np.ndarray:
+        """Read ``n_elements`` integers back from vertical rows."""
+        if block.width < width:
+            raise OperationError(
+                f"block has {block.width} rows, need {width}")
+        if n_elements > module.lanes:
+            raise OperationError(
+                f"{n_elements} elements exceed {module.lanes} lanes")
+        rows = [module.read_striped(data_row(block.base + i))
+                for i in range(width)]
+        values = bits_to_ints(np.stack(rows))
+        values = values[:n_elements]
+        if signed:
+            return to_signed(values, width)
+        return values

@@ -1,0 +1,19 @@
+"""The bbop ISA extension: instruction formats, opcodes, encode/decode."""
+
+from repro.isa.instructions import (
+    OPCODES,
+    BbopInstruction,
+    BbopKind,
+    bbop,
+    bbop_trsp_init,
+    register_opcode,
+)
+
+__all__ = [
+    "OPCODES",
+    "BbopInstruction",
+    "BbopKind",
+    "bbop",
+    "bbop_trsp_init",
+    "register_opcode",
+]

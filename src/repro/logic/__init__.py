@@ -1,0 +1,21 @@
+"""Logic layer: gate-level circuits, the arithmetic circuit library, and
+majority-inverter graphs with optimization (the paper's Step 1)."""
+
+from repro.logic.circuit import Circuit, Gate, GateType, Net
+from repro.logic.mig import CONST_NODE, Mig, Ref
+from repro.logic.optimize import OptimizeStats, optimize, rebuild
+from repro.logic import library
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "Net",
+    "CONST_NODE",
+    "Mig",
+    "Ref",
+    "OptimizeStats",
+    "optimize",
+    "rebuild",
+    "library",
+]

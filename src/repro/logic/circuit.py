@@ -1,0 +1,254 @@
+"""Gate-level combinational circuit builder.
+
+A :class:`Circuit` is the *input* of SIMDRAM's Step 1: the
+"AND/OR/NOT-based implementation" of a desired operation (the paper also
+allows richer gates — XOR, MUX, MAJ — which Step 1 then re-expresses in
+MAJ/NOT form).  Circuits here are pure DAGs of single-output gates,
+referenced by integer net ids, evaluated with numpy over any number of
+SIMD lanes at once.
+
+The same circuit object serves both substrates: the SIMDRAM backend
+converts it to a majority-inverter graph (:mod:`repro.logic.mig`), while
+the Ambit baseline lowers it to 2-input AND/OR + NOT command sequences
+(:mod:`repro.ambit`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SynthesisError
+
+Net = int
+
+
+class GateType(enum.Enum):
+    """Supported gate kinds (all single-output)."""
+
+    INPUT = "input"
+    CONST = "const"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    XNOR = "xnor"
+    NAND = "nand"
+    NOR = "nor"
+    MAJ = "maj"
+    MUX = "mux"  # fanin order: (select, if_true, if_false)
+
+
+_ARITY: dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.CONST: 0,
+    GateType.NOT: 1,
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.MAJ: 3,
+    GateType.MUX: 3,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: its type, fanin nets and (for INPUT/CONST) payload."""
+
+    kind: GateType
+    fanin: tuple[Net, ...] = ()
+    name: str | None = None      # INPUT only
+    value: bool | None = None    # CONST only
+
+
+@dataclass
+class Circuit:
+    """A combinational netlist with named inputs and outputs."""
+
+    gates: list[Gate] = field(default_factory=list)
+    _input_ids: dict[str, Net] = field(default_factory=dict)
+    _outputs: list[tuple[str, Net]] = field(default_factory=list)
+    _output_names: set[str] = field(default_factory=set)
+    _hash_cache: dict[tuple, Net] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add(self, gate: Gate) -> Net:
+        expected = _ARITY[gate.kind]
+        if len(gate.fanin) != expected:
+            raise SynthesisError(
+                f"{gate.kind.value} needs {expected} fanin nets, "
+                f"got {len(gate.fanin)}")
+        for net in gate.fanin:
+            if not 0 <= net < len(self.gates):
+                raise SynthesisError(f"fanin net {net} does not exist")
+        key = (gate.kind, gate.fanin, gate.value)
+        if gate.kind not in (GateType.INPUT,):
+            cached = self._hash_cache.get(key)
+            if cached is not None:
+                return cached
+        self.gates.append(gate)
+        net = len(self.gates) - 1
+        if gate.kind is not GateType.INPUT:
+            self._hash_cache[key] = net
+        return net
+
+    def input(self, name: str) -> Net:
+        """Declare (or fetch) the primary input called ``name``."""
+        if name in self._input_ids:
+            return self._input_ids[name]
+        net = self._add(Gate(GateType.INPUT, name=name))
+        self._input_ids[name] = net
+        return net
+
+    def const(self, value: bool) -> Net:
+        """A constant 0/1 net."""
+        return self._add(Gate(GateType.CONST, value=bool(value)))
+
+    def not_(self, a: Net) -> Net:
+        gate = self.gates[a]
+        if gate.kind is GateType.NOT:
+            return gate.fanin[0]  # double negation
+        if gate.kind is GateType.CONST:
+            return self.const(not gate.value)
+        return self._add(Gate(GateType.NOT, (a,)))
+
+    def _binary(self, kind: GateType, a: Net, b: Net) -> Net:
+        if a > b and kind is not GateType.MUX:  # commutative: canonical order
+            a, b = b, a
+        return self._add(Gate(kind, (a, b)))
+
+    def and_(self, a: Net, b: Net) -> Net:
+        return self._binary(GateType.AND, a, b)
+
+    def or_(self, a: Net, b: Net) -> Net:
+        return self._binary(GateType.OR, a, b)
+
+    def xor(self, a: Net, b: Net) -> Net:
+        return self._binary(GateType.XOR, a, b)
+
+    def xnor(self, a: Net, b: Net) -> Net:
+        return self._binary(GateType.XNOR, a, b)
+
+    def nand(self, a: Net, b: Net) -> Net:
+        return self._binary(GateType.NAND, a, b)
+
+    def nor(self, a: Net, b: Net) -> Net:
+        return self._binary(GateType.NOR, a, b)
+
+    def maj(self, a: Net, b: Net, c: Net) -> Net:
+        """3-input majority — SIMDRAM's native compute primitive."""
+        ordered = tuple(sorted((a, b, c)))
+        return self._add(Gate(GateType.MAJ, ordered))
+
+    def mux(self, select: Net, if_true: Net, if_false: Net) -> Net:
+        """2:1 multiplexer: ``if_true`` when ``select`` else ``if_false``."""
+        return self._add(Gate(GateType.MUX, (select, if_true, if_false)))
+
+    def reduce(self, kind: GateType, nets: list[Net]) -> Net:
+        """Balanced reduction tree of a commutative 2-input gate."""
+        if not nets:
+            raise SynthesisError("cannot reduce an empty net list")
+        level = list(nets)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._binary(kind, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def set_output(self, name: str, net: Net) -> None:
+        """Mark ``net`` as the primary output called ``name``."""
+        if name in self._output_names:
+            raise SynthesisError(f"duplicate output name {name!r}")
+        if not 0 <= net < len(self.gates):
+            raise SynthesisError(f"output net {net} does not exist")
+        self._output_names.add(name)
+        self._outputs.append((name, net))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def input_names(self) -> list[str]:
+        return list(self._input_ids)
+
+    @property
+    def outputs(self) -> list[tuple[str, Net]]:
+        return list(self._outputs)
+
+    @property
+    def n_gates(self) -> int:
+        """Number of logic gates (excluding inputs and constants)."""
+        return sum(1 for g in self.gates
+                   if g.kind not in (GateType.INPUT, GateType.CONST))
+
+    def count(self, kind: GateType) -> int:
+        """Number of gates of the given type."""
+        return sum(1 for g in self.gates if g.kind is kind)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Evaluate all outputs over vectors of lane values.
+
+        ``inputs`` maps every input name to a boolean array; all arrays
+        must share one shape.  Returns output name → boolean array.
+        """
+        missing = set(self._input_ids) - set(inputs)
+        if missing:
+            raise SynthesisError(f"missing input values for {sorted(missing)}")
+        shape = None
+        values: list[np.ndarray | None] = [None] * len(self.gates)
+        for name, net in self._input_ids.items():
+            arr = np.asarray(inputs[name], dtype=bool)
+            if shape is None:
+                shape = arr.shape
+            elif arr.shape != shape:
+                raise SynthesisError(
+                    f"input {name!r} has shape {arr.shape}, expected {shape}")
+            values[net] = arr
+        if shape is None:
+            shape = (1,)
+
+        for net, gate in enumerate(self.gates):
+            if values[net] is not None:
+                continue
+            values[net] = self._eval_gate(gate, values, shape)
+        return {name: values[net] for name, net in self._outputs}
+
+    def _eval_gate(self, gate: Gate, values: list, shape: tuple) -> np.ndarray:
+        kind = gate.kind
+        if kind is GateType.CONST:
+            return np.full(shape, gate.value, dtype=bool)
+        fanin = [values[f] for f in gate.fanin]
+        if kind is GateType.NOT:
+            return ~fanin[0]
+        if kind is GateType.AND:
+            return fanin[0] & fanin[1]
+        if kind is GateType.OR:
+            return fanin[0] | fanin[1]
+        if kind is GateType.XOR:
+            return fanin[0] ^ fanin[1]
+        if kind is GateType.XNOR:
+            return ~(fanin[0] ^ fanin[1])
+        if kind is GateType.NAND:
+            return ~(fanin[0] & fanin[1])
+        if kind is GateType.NOR:
+            return ~(fanin[0] | fanin[1])
+        if kind is GateType.MAJ:
+            a, b, c = fanin
+            return (a & b) | (b & c) | (a & c)
+        if kind is GateType.MUX:
+            select, if_true, if_false = fanin
+            return np.where(select, if_true, if_false)
+        raise SynthesisError(f"cannot evaluate gate kind {kind}")

@@ -1,0 +1,253 @@
+"""Generators for the arithmetic/relational circuits behind SIMDRAM's ops.
+
+Every function takes a :class:`~repro.logic.circuit.Circuit` plus operand
+bit lists (LSB first) and returns output bit lists.  Each generator exists
+in two *styles*, mirroring how the paper implements each operation on each
+substrate in its best-known form:
+
+* ``style="maj"`` — the MAJ/NOT-friendly decomposition SIMDRAM's Step 1
+  produces (e.g. a full adder is 3 MAJ + 2 NOT, the identity
+  ``S = MAJ(!Cout, MAJ(A, B, !Cin), Cin)``, Fig. 2 of the paper).
+* ``style="classic"`` — the AND/OR/XOR/NOT decomposition used for the
+  Ambit baseline, which only has 2-input AND/OR (+NOT) natively.
+
+Bit shifts are free wiring in both styles (vertical layout: a shift is a
+change of row index, §2 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.logic.circuit import Circuit, GateType, Net
+
+VALID_STYLES = ("maj", "classic")
+
+
+def _check_style(style: str) -> None:
+    if style not in VALID_STYLES:
+        raise SynthesisError(
+            f"style must be one of {VALID_STYLES}, got {style!r}")
+
+
+def _check_same_width(a: list[Net], b: list[Net]) -> None:
+    if len(a) != len(b):
+        raise SynthesisError(
+            f"operand widths differ: {len(a)} vs {len(b)}")
+    if not a:
+        raise SynthesisError("operands must have at least one bit")
+
+
+def full_adder(c: Circuit, a: Net, b: Net, cin: Net,
+               style: str = "maj") -> tuple[Net, Net]:
+    """One full adder; returns ``(sum, carry_out)``."""
+    _check_style(style)
+    if style == "maj":
+        cout = c.maj(a, b, cin)
+        inner = c.maj(a, b, c.not_(cin))
+        total = c.maj(c.not_(cout), inner, cin)
+        return total, cout
+    axb = c.xor(a, b)
+    total = c.xor(axb, cin)
+    cout = c.or_(c.and_(a, b), c.and_(axb, cin))
+    return total, cout
+
+
+def half_adder(c: Circuit, a: Net, b: Net,
+               style: str = "maj") -> tuple[Net, Net]:
+    """One half adder; returns ``(sum, carry_out)``."""
+    _check_style(style)
+    if style == "maj":
+        # XOR via MAJ: a^b = MAJ(!MAJ(a,b,0), MAJ(a,b,1), 0).
+        carry = c.maj(a, b, c.const(False))
+        either = c.maj(a, b, c.const(True))
+        total = c.maj(c.not_(carry), either, c.const(False))
+        return total, carry
+    return c.xor(a, b), c.and_(a, b)
+
+
+def ripple_add(c: Circuit, a: list[Net], b: list[Net], cin: Net | None = None,
+               style: str = "maj") -> tuple[list[Net], Net]:
+    """n-bit ripple-carry addition; returns ``(sum_bits, carry_out)``."""
+    _check_same_width(a, b)
+    carry = cin if cin is not None else c.const(False)
+    out = []
+    for bit_a, bit_b in zip(a, b):
+        total, carry = full_adder(c, bit_a, bit_b, carry, style)
+        out.append(total)
+    return out, carry
+
+
+def ripple_sub(c: Circuit, a: list[Net], b: list[Net],
+               style: str = "maj") -> tuple[list[Net], Net]:
+    """n-bit subtraction ``a - b`` (two's complement).
+
+    Returns ``(difference_bits, borrow)`` where ``borrow`` is 1 when the
+    unsigned subtraction wrapped (i.e. a < b unsigned).
+    """
+    _check_same_width(a, b)
+    inverted = [c.not_(bit) for bit in b]
+    diff, carry = ripple_add(c, a, inverted, cin=c.const(True), style=style)
+    return diff, c.not_(carry)
+
+
+def negate(c: Circuit, a: list[Net], style: str = "maj") -> list[Net]:
+    """Two's-complement negation ``-a`` (invert then add one)."""
+    inverted = [c.not_(bit) for bit in a]
+    carry = c.const(True)
+    out = []
+    for bit in inverted:
+        total, carry = half_adder(c, bit, carry, style)
+        out.append(total)
+    return out
+
+
+def equal(c: Circuit, a: list[Net], b: list[Net],
+          style: str = "maj") -> Net:
+    """Equality check; single-bit result."""
+    _check_same_width(a, b)
+    _check_style(style)
+    same = [c.xnor(bit_a, bit_b) for bit_a, bit_b in zip(a, b)]
+    return c.reduce(GateType.AND, same)
+
+
+def greater_unsigned(c: Circuit, a: list[Net], b: list[Net],
+                     style: str = "maj") -> Net:
+    """Unsigned ``a > b``; single-bit result.
+
+    Uses the borrow chain of ``b - a``: a borrow out means ``b < a``.
+    Each stage is ``w' = MAJ(!b_i, a_i, w)`` in MAJ style.
+    """
+    _check_same_width(a, b)
+    _check_style(style)
+    borrow = c.const(False)
+    for bit_a, bit_b in zip(a, b):
+        not_b = c.not_(bit_b)
+        if style == "maj":
+            borrow = c.maj(not_b, bit_a, borrow)
+        else:
+            direct = c.and_(not_b, bit_a)
+            keep = c.and_(c.or_(not_b, bit_a), borrow)
+            borrow = c.or_(direct, keep)
+    return borrow
+
+
+def greater_signed(c: Circuit, a: list[Net], b: list[Net],
+                   style: str = "maj") -> Net:
+    """Signed (two's complement) ``a > b``; single-bit result."""
+    _check_same_width(a, b)
+    # a > b  <=>  (a_unsigned > b_unsigned) XOR (sign_a != sign_b)
+    unsigned_gt = greater_unsigned(c, a, b, style)
+    sign_diff = c.xor(a[-1], b[-1])
+    return c.xor(unsigned_gt, sign_diff)
+
+
+def greater_equal_signed(c: Circuit, a: list[Net], b: list[Net],
+                         style: str = "maj") -> Net:
+    """Signed ``a >= b``; single-bit result."""
+    less = greater_signed(c, b, a, style)
+    return c.not_(less)
+
+
+def mux_vector(c: Circuit, select: Net, if_true: list[Net],
+               if_false: list[Net], style: str = "maj") -> list[Net]:
+    """Per-bit 2:1 mux of two equal-width vectors."""
+    _check_same_width(if_true, if_false)
+    _check_style(style)
+    return [c.mux(select, t, f) for t, f in zip(if_true, if_false)]
+
+
+def maximum_signed(c: Circuit, a: list[Net], b: list[Net],
+                   style: str = "maj") -> list[Net]:
+    """Signed elementwise maximum."""
+    a_wins = greater_signed(c, a, b, style)
+    return mux_vector(c, a_wins, a, b, style)
+
+
+def minimum_signed(c: Circuit, a: list[Net], b: list[Net],
+                   style: str = "maj") -> list[Net]:
+    """Signed elementwise minimum."""
+    a_wins = greater_signed(c, a, b, style)
+    return mux_vector(c, a_wins, b, a, style)
+
+
+def multiply(c: Circuit, a: list[Net], b: list[Net],
+             style: str = "maj") -> list[Net]:
+    """n x n -> n-bit (wrapping) shift-and-add multiplication.
+
+    Partial product ``i`` is ``a AND b_i`` shifted left by ``i`` (the shift
+    is free row re-indexing); products are accumulated with ripple adders
+    of shrinking width, giving the usual O(n^2) bit-serial multiplier.
+    """
+    _check_same_width(a, b)
+    width = len(a)
+    acc = [c.and_(bit, b[0]) for bit in a]
+    for i in range(1, width):
+        partial = [c.and_(a[j], b[i]) for j in range(width - i)]
+        upper, _ = ripple_add(c, acc[i:], partial, style=style)
+        acc = acc[:i] + upper
+    return acc
+
+
+def divide_unsigned(c: Circuit, a: list[Net], b: list[Net],
+                    style: str = "maj") -> tuple[list[Net], list[Net]]:
+    """Unsigned restoring division; returns ``(quotient, remainder)``.
+
+    Classic non-restoring-free formulation: the remainder register is
+    shifted left one bit per step, the divisor is subtracted, and a mux
+    restores the pre-subtraction value when the subtraction borrowed.
+    Division by zero yields an all-ones quotient and remainder == a,
+    matching the hardware divider's fixed-point behaviour.
+    """
+    _check_same_width(a, b)
+    width = len(a)
+    zero = c.const(False)
+    remainder = [zero] * width
+    quotient: list[Net] = [zero] * width
+    for step in reversed(range(width)):
+        shifted = [a[step]] + remainder[:-1]
+        diff, borrow = ripple_sub(c, shifted, b, style)
+        took = c.not_(borrow)
+        remainder = mux_vector(c, took, diff, shifted, style)
+        quotient[step] = took
+    return quotient, remainder
+
+
+def popcount(c: Circuit, bits: list[Net], style: str = "maj") -> list[Net]:
+    """Count set bits; output width is ``ceil(log2(n+1))``.
+
+    Accumulates bits into a ripple counter (a chain of half adders per
+    increment), the standard bit-serial population count.
+    """
+    if not bits:
+        raise SynthesisError("popcount needs at least one bit")
+    out_width = max(1, (len(bits)).bit_length())
+    acc: list[Net] = [bits[0]] + [c.const(False)] * (out_width - 1)
+    for bit in bits[1:]:
+        carry = bit
+        next_acc = []
+        for acc_bit in acc:
+            total, carry = half_adder(c, acc_bit, carry, style)
+            next_acc.append(total)
+        acc = next_acc
+    return acc
+
+
+def relu(c: Circuit, a: list[Net], style: str = "maj") -> list[Net]:
+    """Signed ReLU: ``a`` when ``a >= 0`` else 0 (mask with NOT sign)."""
+    _check_style(style)
+    keep = c.not_(a[-1])
+    return [c.and_(bit, keep) for bit in a]
+
+
+def absolute(c: Circuit, a: list[Net], style: str = "maj") -> list[Net]:
+    """Signed absolute value (note: abs(INT_MIN) wraps to INT_MIN)."""
+    negated = negate(c, a, style)
+    return mux_vector(c, a[-1], negated, a, style)
+
+
+def reduction(c: Circuit, kind: GateType, bits: list[Net],
+              style: str = "maj") -> Net:
+    """N-input AND/OR/XOR reduction over the bits of each element."""
+    if kind not in (GateType.AND, GateType.OR, GateType.XOR):
+        raise SynthesisError(f"unsupported reduction gate {kind}")
+    return c.reduce(kind, bits)

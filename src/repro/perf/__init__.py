@@ -1,0 +1,26 @@
+"""Performance evaluation harness: throughput, energy and area models for
+SIMDRAM, the Ambit baseline, and CPU/GPU hosts."""
+
+from repro.perf.area import AreaReport, area_report
+from repro.perf.model import (
+    PimSystemModel,
+    PlatformMeasure,
+    measure_all_platforms,
+    measure_host,
+)
+from repro.perf.opmodel import HostOpProfile, host_profile
+from repro.perf.platforms import HostPlatform, cpu_skylake, gpu_volta
+
+__all__ = [
+    "AreaReport",
+    "area_report",
+    "PimSystemModel",
+    "PlatformMeasure",
+    "measure_all_platforms",
+    "measure_host",
+    "HostOpProfile",
+    "host_profile",
+    "HostPlatform",
+    "cpu_skylake",
+    "gpu_volta",
+]

@@ -1,0 +1,118 @@
+"""Throughput and energy models for all four evaluated platforms.
+
+This is the evaluation harness of the reproduction: given a compiled
+µProgram it computes SIMDRAM's (or Ambit's) throughput and energy from
+the command counts, the DDR timing/energy models, and the lane
+parallelism; host platforms come from the roofline models in
+:mod:`repro.perf.platforms`.  Every benchmark table/figure is generated
+from these functions (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import compile_operation
+from repro.core.operations import get_operation
+from repro.dram.energy import DramEnergy
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.errors import ConfigError
+from repro.perf.opmodel import host_profile
+from repro.perf.platforms import HostPlatform, cpu_skylake, gpu_volta
+from repro.uprog.program import MicroProgram
+
+
+@dataclass(frozen=True)
+class PlatformMeasure:
+    """One platform's modeled performance on one operation."""
+
+    platform: str
+    op_name: str
+    element_width: int
+    throughput_gops: float     # elements per nanosecond
+    energy_nj_per_element: float
+
+    @property
+    def efficiency_elems_per_uj(self) -> float:
+        """Energy efficiency: elements computed per microjoule."""
+        return 1e3 / self.energy_nj_per_element
+
+
+@dataclass(frozen=True)
+class PimSystemModel:
+    """An in-DRAM computing system (SIMDRAM or the Ambit baseline)."""
+
+    geometry: DramGeometry
+    timing: DramTiming
+    energy: DramEnergy
+
+    @classmethod
+    def paper(cls) -> "PimSystemModel":
+        """The paper's configuration: DDR4-2400 module, 8 KB rows."""
+        return cls(DramGeometry.paper(), DramTiming.ddr4_2400(),
+                   DramEnergy.ddr4())
+
+    def lanes(self, n_banks: int) -> int:
+        return self.geometry.lanes(n_banks)
+
+    def measure(self, program: MicroProgram,
+                n_banks: int = 1) -> PlatformMeasure:
+        """Throughput/energy of one µProgram at ``n_banks`` parallelism.
+
+        A µProgram execution processes one element per column in every
+        participating bank; latency is the serial command latency (banks
+        run in lockstep), and per-element energy is bank-count invariant.
+        """
+        if n_banks < 1:
+            raise ConfigError(f"n_banks must be >= 1, got {n_banks}")
+        latency_ns = program.latency_ns(self.timing)
+        if latency_ns == 0:
+            raise ConfigError(
+                f"µProgram {program.op_name} has no commands to time")
+        elements = self.lanes(n_banks)
+        energy_nj = program.energy_nj(self.timing, self.geometry,
+                                      self.energy)
+        label = "SIMDRAM" if program.backend == "simdram" else "Ambit"
+        return PlatformMeasure(
+            platform=f"{label}:{n_banks}",
+            op_name=program.op_name,
+            element_width=program.element_width,
+            throughput_gops=elements / latency_ns,
+            energy_nj_per_element=energy_nj / self.geometry.cols,
+        )
+
+
+def measure_host(platform: HostPlatform, op_name: str,
+                 width: int) -> PlatformMeasure:
+    """Throughput/energy of a host (CPU/GPU) on one operation."""
+    profile = host_profile(op_name, width)
+    return PlatformMeasure(
+        platform=platform.name,
+        op_name=op_name,
+        element_width=width,
+        throughput_gops=platform.throughput_gops(
+            profile.bytes_per_element, profile.ops_per_element),
+        energy_nj_per_element=platform.energy_nj_per_element(
+            profile.bytes_per_element, profile.ops_per_element),
+    )
+
+
+def measure_all_platforms(op_name: str, width: int,
+                          bank_counts: tuple[int, ...] = (1, 4, 16),
+                          system: PimSystemModel | None = None,
+                          ) -> list[PlatformMeasure]:
+    """The paper's comparison set for one operation: CPU, GPU, Ambit,
+    and SIMDRAM:1/4/16."""
+    system = system or PimSystemModel.paper()
+    spec = get_operation(op_name)
+    results = [
+        measure_host(cpu_skylake(), op_name, width),
+        measure_host(gpu_volta(), op_name, width),
+    ]
+    ambit_program = compile_operation(spec, width, backend="ambit")
+    results.append(system.measure(ambit_program, n_banks=1))
+    simdram_program = compile_operation(spec, width, backend="simdram")
+    for n_banks in bank_counts:
+        results.append(system.measure(simdram_program, n_banks=n_banks))
+    return results

@@ -1,0 +1,63 @@
+"""Per-operation cost profiles for the host baselines.
+
+For each catalog operation this module derives (a) the DRAM bytes a
+streaming CPU/GPU implementation touches per element and (b) the ALU
+operations it spends per element.  Bytes come from the operation's
+declared operand widths; ALU counts are the conventional instruction
+costs of the best vectorized implementation (e.g. division is microcoded
+and far more expensive than addition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operations import OperationSpec, get_operation
+
+#: Vector ALU operations per element on a host platform (32-bit lanes).
+#: Values reflect typical vectorized instruction counts.
+HOST_OPS_PER_ELEMENT: dict[str, float] = {
+    "abs": 2.0,        # mask + subtract (or vpabsd)
+    "add": 1.0,
+    "sub": 1.0,
+    "mul": 1.0,        # pipelined vector multiply
+    "div": 16.0,       # vectorized integer division is microcoded
+    "eq": 1.0,
+    "gt": 1.0,
+    "ge": 1.0,
+    "max": 1.0,
+    "min": 1.0,
+    "if_else": 2.0,    # compare mask + blend
+    "relu": 1.0,
+    "bitcount": 1.0,   # popcnt
+    "and_red": 2.0,    # compare against all-ones mask
+    "or_red": 2.0,
+    "xor_red": 2.0,    # popcnt + parity
+}
+
+
+@dataclass(frozen=True)
+class HostOpProfile:
+    """Bytes and ALU ops per element for a host implementation."""
+
+    op_name: str
+    bytes_per_element: float
+    ops_per_element: float
+
+
+def host_profile(op_name: str, width: int) -> HostOpProfile:
+    """Derive the host streaming profile of a catalog operation."""
+    spec = get_operation(op_name)
+    return _profile(spec, width)
+
+
+def _profile(spec: OperationSpec, width: int) -> HostOpProfile:
+    # Host layouts round operands up to whole bytes.
+    in_bytes = sum(max(1, (w + 7) // 8) for w in spec.in_widths(width))
+    out_bytes = max(1, (spec.out_width(width) + 7) // 8)
+    ops = HOST_OPS_PER_ELEMENT.get(spec.name, 1.0)
+    return HostOpProfile(
+        op_name=spec.name,
+        bytes_per_element=float(in_bytes + out_bytes),
+        ops_per_element=ops,
+    )

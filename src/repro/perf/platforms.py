@@ -1,0 +1,101 @@
+"""Baseline platform models: CPU and GPU.
+
+The paper compares SIMDRAM against a multi-core Xeon-class CPU and a
+high-end (Volta-class) GPU running the same bulk element-wise kernels.
+Such kernels are *streaming*: every element is read from and written to
+DRAM once, so achievable throughput is the minimum of the memory-bound
+and compute-bound ceilings.  We model exactly that with documented
+constants; see DESIGN.md §3 for why this substitution preserves the
+paper's comparative results.
+
+Energy accounting per element = data movement (DRAM pJ/bit for all bytes
+touched) + core pipeline energy per arithmetic operation.  The movement
+term dominates for bulk workloads, which is the paper's central premise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HostPlatform:
+    """A bandwidth/compute-roofline host platform (CPU or GPU)."""
+
+    name: str
+    #: Peak DRAM bandwidth (GB/s) and the fraction streaming kernels reach.
+    peak_bw_gbps: float
+    sustained_bw_fraction: float
+    #: Compute ceiling: lanes x frequency = peak simple ops per ns.
+    n_cores: int
+    simd_lanes_per_core: int  # 32-bit lanes
+    freq_ghz: float
+    #: Energy constants.
+    dram_pj_per_bit: float    # off-chip access energy
+    core_pj_per_op: float     # pipeline energy per 32-bit ALU op
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sustained_bw_fraction <= 1:
+            raise ConfigError("sustained_bw_fraction must be in (0, 1]")
+        for attr in ("peak_bw_gbps", "n_cores", "simd_lanes_per_core",
+                     "freq_ghz", "dram_pj_per_bit", "core_pj_per_op"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive")
+
+    @property
+    def sustained_bw_bytes_per_ns(self) -> float:
+        """Achievable streaming bandwidth (GB/s == bytes/ns)."""
+        return self.peak_bw_gbps * self.sustained_bw_fraction
+
+    @property
+    def peak_ops_per_ns(self) -> float:
+        """Peak 32-bit ALU operations per nanosecond."""
+        return self.n_cores * self.simd_lanes_per_core * self.freq_ghz
+
+    # ------------------------------------------------------------------
+    # roofline model for one element-wise operation
+    # ------------------------------------------------------------------
+    def throughput_gops(self, bytes_per_element: float,
+                        ops_per_element: float) -> float:
+        """Elements processed per ns (== GOPS) for a streaming kernel."""
+        memory_bound = self.sustained_bw_bytes_per_ns / bytes_per_element
+        compute_bound = self.peak_ops_per_ns / max(ops_per_element, 1e-9)
+        return min(memory_bound, compute_bound)
+
+    def energy_nj_per_element(self, bytes_per_element: float,
+                              ops_per_element: float) -> float:
+        """Energy per element: data movement + core pipeline."""
+        movement = bytes_per_element * 8 * self.dram_pj_per_bit
+        compute = ops_per_element * self.core_pj_per_op
+        return (movement + compute) * 1e-3
+
+
+def cpu_skylake() -> HostPlatform:
+    """Xeon-class CPU: 16 cores, AVX2 (8x32-bit lanes), 4-ch DDR4-2400.
+
+    The sustained-bandwidth fraction models *measured* bulk kernels
+    (read-read-write streams with turnaround penalties), matching the
+    paper's measured-CPU methodology rather than STREAM peak; DRAM access
+    energy ~20 pJ/bit is the standard figure for off-chip DDR4 (row + I/O
+    + controller).
+    """
+    return HostPlatform(
+        name="CPU", peak_bw_gbps=76.8, sustained_bw_fraction=0.35,
+        n_cores=16, simd_lanes_per_core=8, freq_ghz=3.0,
+        dram_pj_per_bit=20.0, core_pj_per_op=250.0)
+
+
+def gpu_volta() -> HostPlatform:
+    """Volta-class GPU: 80 SMs x 64 lanes, HBM2 at 900 GB/s.
+
+    HBM2 access energy ~7 pJ/bit; per-op core energy is lower than the
+    CPU's thanks to simpler in-order lanes.  The sustained fraction again
+    models measured element-wise kernels (launch overhead, partial
+    coalescing), per the paper's measured-GPU methodology.
+    """
+    return HostPlatform(
+        name="GPU", peak_bw_gbps=900.0, sustained_bw_fraction=0.55,
+        n_cores=80, simd_lanes_per_core=64, freq_ghz=1.5,
+        dram_pj_per_bit=7.0, core_pj_per_op=30.0)

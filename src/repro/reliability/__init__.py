@@ -1,0 +1,25 @@
+"""Reliability study: TRA charge sharing under process variation."""
+
+from repro.reliability.charge_sharing import (
+    TraAnalogModel,
+    operation_failure_probability,
+)
+from repro.reliability.variation import (
+    TECHNOLOGY_NODES,
+    NodePoint,
+    VariationPoint,
+    count_tras,
+    sweep_technology,
+    sweep_variation,
+)
+
+__all__ = [
+    "TraAnalogModel",
+    "operation_failure_probability",
+    "TECHNOLOGY_NODES",
+    "NodePoint",
+    "VariationPoint",
+    "count_tras",
+    "sweep_technology",
+    "sweep_variation",
+]

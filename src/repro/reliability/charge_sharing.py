@@ -1,0 +1,101 @@
+"""Analog model of triple-row activation under process variation.
+
+The paper validates TRA-based majority with SPICE Monte-Carlo across
+manufacturing process variation; we reproduce the study with the
+underlying closed-form charge-sharing model, which captures the same
+failure mechanism:
+
+* Before activation the bitline is precharged to ``VDD/2`` and each of
+  the three cells stores ``VDD`` (logic 1) or ``0`` (logic 0) on its
+  capacitor ``C_i``.
+* Raising three wordlines shares charge; the bitline deviation is
+
+      dV = (VDD / 2) * (sum_i s_i * C_i) / (C_bl + sum_i C_i)
+
+  with ``s_i = +1`` for a stored 1 and ``-1`` for a stored 0.
+* The sense amplifier resolves ``sign(dV + offset)`` where ``offset`` is
+  its input-referred mismatch.  The TRA *fails* when the resolved value
+  differs from the ideal majority — either because capacitor mismatch
+  flips the net charge or the deviation is smaller than the amplifier
+  offset.
+
+Cell capacitances are drawn i.i.d. normal with a given fractional sigma;
+technology scaling shrinks the nominal capacitance and increases
+variability (DESIGN.md §3 records this substitution for SPICE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TraAnalogModel:
+    """Electrical parameters of a TRA in one technology corner."""
+
+    vdd_v: float = 1.2
+    cell_cap_ff: float = 22.0
+    #: Bitline-to-cell capacitance ratio (typical DRAM ~3.5).
+    bitline_ratio: float = 3.5
+    #: Sense-amplifier input-referred offset sigma (mV).
+    sense_offset_mv: float = 15.0
+
+    def __post_init__(self) -> None:
+        for attr in ("vdd_v", "cell_cap_ff", "bitline_ratio"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive")
+        if self.sense_offset_mv < 0:
+            raise ConfigError("sense_offset_mv must be non-negative")
+
+    @property
+    def bitline_cap_ff(self) -> float:
+        return self.bitline_ratio * self.cell_cap_ff
+
+    def deviation_mv(self, stored_bits: np.ndarray,
+                     caps_ff: np.ndarray) -> np.ndarray:
+        """Bitline deviation (mV) for batches of TRAs.
+
+        ``stored_bits`` and ``caps_ff`` have shape ``(n, 3)``.
+        """
+        signs = np.where(np.asarray(stored_bits, dtype=bool), 1.0, -1.0)
+        caps = np.asarray(caps_ff, dtype=float)
+        num = (signs * caps).sum(axis=1)
+        den = self.bitline_cap_ff + caps.sum(axis=1)
+        return 1e3 * (self.vdd_v / 2.0) * num / den
+
+    def failure_probability(self, sigma_fraction: float,
+                            n_trials: int = 200_000,
+                            rng: np.random.Generator | None = None) -> float:
+        """Monte-Carlo probability that one TRA senses the wrong majority.
+
+        Uses the worst-case data pattern (a 2-vs-1 split; unanimous
+        patterns cannot fail under this mechanism), matching the paper's
+        worst-case reliability methodology.
+        """
+        if sigma_fraction < 0:
+            raise ConfigError("sigma_fraction must be non-negative")
+        rng = rng or np.random.default_rng(0)
+        # Worst-case pattern: two 1s, one 0 (symmetric to two 0s, one 1).
+        bits = np.zeros((n_trials, 3), dtype=bool)
+        bits[:, :2] = True
+        caps = rng.normal(self.cell_cap_ff,
+                          sigma_fraction * self.cell_cap_ff,
+                          size=(n_trials, 3))
+        caps = np.clip(caps, 1e-3, None)  # capacitance cannot go negative
+        deviation = self.deviation_mv(bits, caps)
+        offset = rng.normal(0.0, self.sense_offset_mv, size=n_trials)
+        sensed_one = (deviation + offset) > 0
+        return float(np.mean(~sensed_one))  # ideal majority is 1
+
+
+def operation_failure_probability(p_tra: float, n_tra: int) -> float:
+    """Probability an operation with ``n_tra`` TRAs produces any error."""
+    if not 0 <= p_tra <= 1:
+        raise ConfigError(f"p_tra must be a probability, got {p_tra}")
+    if n_tra < 0:
+        raise ConfigError(f"n_tra must be non-negative, got {n_tra}")
+    return 1.0 - (1.0 - p_tra) ** n_tra

@@ -1,0 +1,19 @@
+"""µProgram layer (Step 2): µOps, programs, and the MIG-to-DRAM scheduler."""
+
+from repro.uprog.program import MicroProgram, OperandSpec
+from repro.uprog.scheduler import ScheduleOptions, Scheduler, schedule
+from repro.uprog.uops import INPUT_SPACES, MicroOp, Space, UAap, UAp, URow
+
+__all__ = [
+    "MicroProgram",
+    "OperandSpec",
+    "ScheduleOptions",
+    "Scheduler",
+    "schedule",
+    "INPUT_SPACES",
+    "MicroOp",
+    "Space",
+    "UAap",
+    "UAp",
+    "URow",
+]

@@ -1,0 +1,528 @@
+"""Step 2 of the SIMDRAM framework: allocate MIG nodes to DRAM rows and
+emit the AAP/AP sequence that computes the operation.
+
+The scheduler walks the optimized MIG in topological order and, for each
+MAJ node, (1) picks one of the four TRA-capable wordline triples of the
+Ambit B-group, (2) marshals the three operands into the triple's
+wordlines with AAP copies — exploiting values already present in the
+B-group, constant rows, input rows, temporaries and previously written
+outputs — and (3) fires the TRA with an AP.  Complemented edges are
+served by routing values through a dual-contact cell, whose negated port
+yields NOT for free on read.
+
+Because a TRA destroys its three source rows, any value that is still
+live and has no other copy is spilled to a D-group temporary (or directly
+to its output row when possible) before the activation.  A peephole pass
+then merges each ``AP(triple)`` with an immediately following copy out of
+the triple into a single ``AAP(triple, dst)``, exactly the composite
+command Ambit uses.
+
+Two scheduling modes support the paper's ablation study:
+
+* ``reuse=True`` (default) — the full SIMDRAM Step-2 behaviour described
+  above, minimizing row activations.
+* ``reuse=False`` — a naive per-gate schedule (load three operands, fire,
+  store) that reproduces the command streams of gate-at-a-time baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+
+from repro.dram.rows import B_ADDRESS_MAP
+from repro.errors import SchedulingError
+from repro.logic.mig import CONST_NODE, Mig, Ref
+from repro.uprog.program import MicroProgram, OperandSpec
+from repro.uprog.uops import MicroOp, Space, UAap, UAp, URow
+
+# ---------------------------------------------------------------------------
+# B-group plane model: 6 storage planes behind the 8 wordlines.
+# Planes 0..3 are T0..T3 (positive port only); planes 4/5 are DCC0/DCC1
+# with a positive port (d-wordline) and a negated port (n-wordline).
+# ---------------------------------------------------------------------------
+PLANE_POS_ADDR: dict[int, int] = {0: 0, 1: 1, 2: 2, 3: 3, 4: 6, 5: 7}
+PLANE_NEG_ADDR: dict[int, int] = {4: 4, 5: 5}
+DCC_PLANES = (4, 5)
+
+#: TRA triples: B-group AP address -> ((plane, port_is_negated), ...).
+TRIPLES: dict[int, tuple[tuple[int, bool], ...]] = {
+    12: ((0, False), (1, False), (2, False)),
+    13: ((1, False), (2, False), (3, False)),
+    14: ((4, True), (1, False), (2, False)),
+    15: ((5, True), (0, False), (3, False)),
+}
+
+#: A value: (MIG node id, negated).  A plane "content" is the value read
+#: through the plane's positive port.
+Value = tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Knobs for the Step-2 scheduler (ablation support)."""
+
+    reuse: bool = True      # exploit values already in the B-group
+    peephole: bool = True   # merge AP + copy-out into one AAP
+
+
+@dataclass
+class _State:
+    """Mutable scheduling state: where every live value currently is."""
+
+    plane: list[Value | None] = field(default_factory=lambda: [None] * 6)
+    temp: dict[int, Value] = field(default_factory=dict)   # temp idx -> value
+    written_out: dict[URow, Value] = field(default_factory=dict)
+    free_temps: list[int] = field(default_factory=list)
+    next_temp: int = 0
+    high_water: int = 0
+
+    def alloc_temp(self) -> int:
+        if self.free_temps:
+            return self.free_temps.pop()
+        idx = self.next_temp
+        self.next_temp += 1
+        self.high_water = max(self.high_water, self.next_temp)
+        return idx
+
+    def free_dead_temps(self, is_live) -> None:
+        dead = [idx for idx, (node, _) in self.temp.items()
+                if not is_live(node)]
+        for idx in dead:
+            del self.temp[idx]
+            self.free_temps.append(idx)
+
+
+class Scheduler:
+    """Compiles one MIG into a :class:`MicroProgram`."""
+
+    def __init__(self, mig: Mig, input_rows: dict[str, URow],
+                 output_rows: dict[str, URow],
+                 options: ScheduleOptions | None = None) -> None:
+        self.mig = mig
+        self.options = options or ScheduleOptions()
+        self.input_rows = dict(input_rows)
+        self.output_rows = dict(output_rows)
+        self.uops: list[MicroOp] = []
+        self.state = _State()
+
+        self.input_loc: dict[int, URow] = {}
+        for name in mig.input_names:
+            if name not in self.input_rows:
+                raise SchedulingError(f"no row binding for input {name!r}")
+        missing = {name for name, _ in mig.outputs} - set(self.output_rows)
+        if missing:
+            raise SchedulingError(f"no row binding for outputs {missing}")
+
+        self.order = mig.live_nodes()
+        self.remaining_uses: dict[int, int] = {}
+        for node in self.order:
+            for ref in mig.children_of(node):
+                if not self._is_leaf(ref.node):
+                    self.remaining_uses[ref.node] = (
+                        self.remaining_uses.get(ref.node, 0) + 1)
+        #: node -> [(out_row, negated)] still to be written.
+        self.pending_out: dict[int, list[tuple[URow, bool]]] = {}
+        for name, ref in mig.outputs:
+            self.pending_out.setdefault(ref.node, []).append(
+                (self.output_rows[name], ref.negated))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _is_leaf(self, node: int) -> bool:
+        return self.mig.children_of(node) is None
+
+    def _is_live(self, node: int) -> bool:
+        return (self.remaining_uses.get(node, 0) > 0
+                or bool(self.pending_out.get(node)))
+
+    def _input_row(self, node: int) -> URow | None:
+        name = self.mig.input_name(node)
+        if name is None:
+            return None
+        return self.input_rows[name]
+
+    def _find_source(self, node: int, negated: bool,
+                     use_planes: bool = True,
+                     avoid_planes: frozenset[int] = frozenset(),
+                     ) -> URow | None:
+        """A row currently readable as the value (node, negated)."""
+        if use_planes and self.options.reuse:
+            for p, content in enumerate(self.state.plane):
+                if content is None or p in avoid_planes:
+                    continue
+                held_node, held_neg = content
+                if held_node != node:
+                    continue
+                if held_neg == negated:
+                    return URow(Space.BGROUP, PLANE_POS_ADDR[p])
+                if p in PLANE_NEG_ADDR:
+                    return URow(Space.BGROUP, PLANE_NEG_ADDR[p])
+        for idx, (held_node, held_neg) in self.state.temp.items():
+            if held_node == node and held_neg == negated:
+                return URow(Space.TEMP, idx)
+        for row, (held_node, held_neg) in self.state.written_out.items():
+            if held_node == node and held_neg == negated:
+                return row
+        if node == CONST_NODE:
+            return URow(Space.CTRL, 1 if negated else 0)
+        if not negated:
+            return self._input_row(node)
+        return None
+
+    def _has_copy_outside(self, node: int, planes: frozenset[int]) -> bool:
+        """True if the value survives clobbering the given planes."""
+        if self._is_leaf(node):
+            return True  # inputs/constants always have a home row
+        for p, content in enumerate(self.state.plane):
+            if p in planes or content is None:
+                continue
+            if content[0] == node:
+                return True
+        if any(held == node for held, _ in self.state.temp.values()):
+            return True
+        return any(held == node
+                   for held, _ in self.state.written_out.values())
+
+    # ------------------------------------------------------------------
+    # emission primitives
+    # ------------------------------------------------------------------
+    def _emit(self, uop: MicroOp) -> None:
+        self.uops.append(uop)
+
+    def _plane_read_addr(self, plane: int, negated: bool) -> URow | None:
+        """Address reading plane ``plane`` as (node, negated) given content."""
+        content = self.state.plane[plane]
+        if content is None:
+            return None
+        if content[1] == negated:
+            return URow(Space.BGROUP, PLANE_POS_ADDR[plane])
+        if plane in PLANE_NEG_ADDR:
+            return URow(Space.BGROUP, PLANE_NEG_ADDR[plane])
+        return None
+
+    def _spill_plane(self, plane: int) -> None:
+        """Preserve a live, sole-copy plane value before it is clobbered."""
+        content = self.state.plane[plane]
+        node, held_neg = content
+        # Prefer writing a pending output row: same cost, more progress.
+        for i, (out_row, out_neg) in enumerate(self.pending_out.get(node, [])):
+            addr = self._plane_read_addr(plane, out_neg)
+            if addr is not None:
+                self._emit(UAap(addr, out_row))
+                self.state.written_out[out_row] = (node, out_neg)
+                self.pending_out[node].pop(i)
+                if not self.pending_out[node]:
+                    del self.pending_out[node]
+                return
+        idx = self.state.alloc_temp()
+        self._emit(UAap(URow(Space.BGROUP, PLANE_POS_ADDR[plane]),
+                        URow(Space.TEMP, idx)))
+        self.state.temp[idx] = (node, held_neg)
+
+    def _install(self, plane: int, want: Value,
+                 triple_planes: frozenset[int]) -> None:
+        """Make plane ``plane`` hold content ``want`` (positive-port view)."""
+        node, want_neg = want
+        # Prefer sources outside the triple: in-triple planes are about to
+        # be overwritten, so reading them creates ordering hazards.
+        src = self._find_source(node, want_neg, avoid_planes=triple_planes)
+        if src is None:
+            src = self._find_source(node, want_neg)
+        if src is not None:
+            self._emit(UAap(src, URow(Space.BGROUP, PLANE_POS_ADDR[plane])))
+            self.state.plane[plane] = want
+            return
+        src = self._find_source(node, not want_neg)
+        if src is None:
+            raise SchedulingError(
+                f"value for node {node} unavailable during scheduling")
+        if plane in PLANE_NEG_ADDR:
+            # Write the complement through the negated port.
+            self._emit(UAap(src, URow(Space.BGROUP, PLANE_NEG_ADDR[plane])))
+            self.state.plane[plane] = want
+            return
+        # T-plane needing a complement: route through a free DCC first.
+        dcc = self._pick_dcc(triple_planes)
+        self._emit(UAap(src, URow(Space.BGROUP, PLANE_NEG_ADDR[dcc])))
+        self.state.plane[dcc] = (node, want_neg)
+        self._emit(UAap(URow(Space.BGROUP, PLANE_POS_ADDR[dcc]),
+                        URow(Space.BGROUP, PLANE_POS_ADDR[plane])))
+        self.state.plane[plane] = want
+
+    def _pick_dcc(self, triple_planes: frozenset[int]) -> int:
+        """Choose a DCC plane to use as a NOT gateway, spilling if needed."""
+        candidates = [p for p in DCC_PLANES if p not in triple_planes]
+        if not candidates:
+            candidates = list(DCC_PLANES)
+        # Prefer a dead or duplicated plane.  Copies inside the current
+        # triple do not count: the TRA is about to destroy them.
+        for p in candidates:
+            content = self.state.plane[p]
+            if content is None or not self._is_live(content[0]) \
+                    or self._has_copy_outside(content[0],
+                                              triple_planes | {p}):
+                return p
+        p = candidates[0]
+        self._spill_plane(p)
+        return p
+
+    # ------------------------------------------------------------------
+    # per-node scheduling
+    # ------------------------------------------------------------------
+    def _plan_cost(self, slots: tuple[tuple[int, bool], ...],
+                   children: tuple[Ref, ...]) -> int:
+        """Estimate AAPs to run this node's TRA with this assignment."""
+        cost = 0
+        triple_planes = frozenset(p for p, _ in slots)
+        uses_after = dict(self.remaining_uses)
+        for ref in children:
+            if not self._is_leaf(ref.node):
+                uses_after[ref.node] = uses_after.get(ref.node, 0) - 1
+        # Install costs.
+        for (plane, port_neg), ref in zip(slots, children):
+            content = self.state.plane[plane]
+            want = (ref.node, ref.negated ^ port_neg)
+            if self.options.reuse and content == want:
+                continue
+            if self._find_source(ref.node, want[1]) is not None:
+                cost += 1
+            elif plane in PLANE_NEG_ADDR and self._find_source(
+                    ref.node, not want[1]) is not None:
+                cost += 1
+            else:
+                cost += 2
+        # Spill costs: distinct live values that exist only inside the triple.
+        if self.options.reuse:
+            spilled: set[int] = set()
+            for plane in triple_planes:
+                content = self.state.plane[plane]
+                if content is None or content[0] in spilled:
+                    continue
+                node = content[0]
+                live = (uses_after.get(node, 0) > 0
+                        or bool(self.pending_out.get(node)))
+                if live and not self._has_copy_outside(node, triple_planes):
+                    cost += 1
+                    spilled.add(node)
+        return cost
+
+    def _schedule_node(self, node: int) -> None:
+        children = self.mig.children_of(node)
+        best: tuple[int, int, tuple[Ref, ...]] | None = None
+        for ap_index, slots in TRIPLES.items():
+            for perm in permutations(children):
+                cost = self._plan_cost(slots, perm)
+                if best is None or cost < best[0]:
+                    best = (cost, ap_index, perm)
+        _, ap_index, perm = best
+        slots = TRIPLES[ap_index]
+        triple_planes = frozenset(p for p, _ in slots)
+
+        # 1. Spill live sole-copy values out of the triple.
+        if self.options.reuse:
+            uses_after = dict(self.remaining_uses)
+            for ref in children:
+                if not self._is_leaf(ref.node):
+                    uses_after[ref.node] = uses_after.get(ref.node, 0) - 1
+            for plane in sorted(triple_planes):
+                content = self.state.plane[plane]
+                if content is None:
+                    continue
+                held = content[0]
+                live = (uses_after.get(held, 0) > 0
+                        or bool(self.pending_out.get(held)))
+                if live and not self._has_copy_outside(held, triple_planes):
+                    self._spill_plane(plane)
+
+        # 2. Marshal operands into the triple, keeping matches in place.
+        pending_installs: list[tuple[int, Value]] = []
+        for (plane, port_neg), ref in zip(slots, perm):
+            want = (ref.node, ref.negated ^ port_neg)
+            if self.options.reuse and self.state.plane[plane] == want:
+                continue
+            pending_installs.append((plane, want))
+        # Installs sourced from planes inside the triple must run before
+        # those planes are overwritten; _install prefers outside sources,
+        # so a simple greedy order suffices: install planes whose current
+        # content is not needed as a source by later installs first.
+        for plane, want in self._order_installs(pending_installs,
+                                                triple_planes):
+            self._install(plane, want, triple_planes)
+
+        # 3. Fire the TRA.
+        self._emit(UAp(URow(Space.BGROUP, ap_index)))
+        for plane, port_neg in slots:
+            self.state.plane[plane] = (node, port_neg)
+
+        # 4. Update liveness.
+        for ref in children:
+            if not self._is_leaf(ref.node):
+                self.remaining_uses[ref.node] -= 1
+        self.state.free_dead_temps(self._is_live)
+
+        # 5. Persist the result when needed.
+        self._persist_result(node, triple_planes)
+
+    def _order_installs(self, installs: list[tuple[int, Value]],
+                        triple_planes: frozenset[int],
+                        ) -> list[tuple[int, Value]]:
+        """Order installs so in-triple sources are consumed before the
+        planes holding them are overwritten.
+
+        An install *depends on* every plane that holds the only remaining
+        copy of the value it needs.  Kahn's algorithm orders the (at most
+        three) installs; a dependency cycle is broken by copying one
+        trapped value out to a temporary first.
+        """
+        if len(installs) <= 1:
+            return installs
+
+        def in_triple_only(node: int) -> set[int]:
+            """Planes in the triple holding ``node`` when no copy survives
+            elsewhere (empty set means the install is hazard-free)."""
+            if self._is_leaf(node) or self._has_copy_outside(
+                    node, triple_planes):
+                return set()
+            return {p for p in triple_planes
+                    if self.state.plane[p] is not None
+                    and self.state.plane[p][0] == node}
+
+        def order_is_safe(order: tuple[tuple[int, Value], ...]) -> bool:
+            done: set[int] = set()
+            for plane, want in order:
+                holders = in_triple_only(want[0])
+                # An install may read its own plane before overwriting it
+                # (DCC port flip), so the plane it writes never blocks it.
+                if holders and not (holders - done) :
+                    return False
+                done.add(plane)
+            return True
+
+        for candidate in permutations(installs):
+            if order_is_safe(candidate):
+                return list(candidate)
+        # Dependency cycle: free one trapped value via a temp copy, then
+        # any order that respects the remaining constraints works.
+        _, want = installs[0]
+        holders = in_triple_only(want[0])
+        plane = min(holders)
+        content = self.state.plane[plane]
+        idx = self.state.alloc_temp()
+        self._emit(UAap(URow(Space.BGROUP, PLANE_POS_ADDR[plane]),
+                        URow(Space.TEMP, idx)))
+        self.state.temp[idx] = content
+        return self._order_installs(installs, triple_planes)
+
+    def _persist_result(self, node: int, triple_planes: frozenset[int]) -> None:
+        """Eagerly satisfy cheap output writes; spill in naive mode."""
+        for out_row, out_neg in list(self.pending_out.get(node, [])):
+            src = self._find_source(node, out_neg)
+            if src is None and not self.options.reuse:
+                # Naive mode keeps nothing in planes conceptually, but the
+                # result is physically there right now: read it directly.
+                src = self._plane_result_addr(node, out_neg, triple_planes)
+            if src is not None:
+                self._emit(UAap(src, out_row))
+                self.state.written_out[out_row] = (node, out_neg)
+                self.pending_out[node].remove((out_row, out_neg))
+        if not self.pending_out.get(node) and node in self.pending_out:
+            del self.pending_out[node]
+
+        if not self.options.reuse and self._is_live(node):
+            addr = self._plane_result_addr(node, False, triple_planes)
+            idx = self.state.alloc_temp()
+            self._emit(UAap(addr, URow(Space.TEMP, idx)))
+            self.state.temp[idx] = (node, False)
+            for plane in triple_planes:
+                self.state.plane[plane] = None
+
+    def _plane_result_addr(self, node: int, negated: bool,
+                           triple_planes: frozenset[int]) -> URow | None:
+        for plane in sorted(triple_planes):
+            content = self.state.plane[plane]
+            if content is None or content[0] != node:
+                continue
+            addr = self._plane_read_addr(plane, negated)
+            if addr is not None:
+                return addr
+        return None
+
+    # ------------------------------------------------------------------
+    # output flush
+    # ------------------------------------------------------------------
+    def _flush_outputs(self) -> None:
+        for node in list(self.pending_out):
+            for out_row, out_neg in list(self.pending_out[node]):
+                src = self._find_source(node, out_neg)
+                if src is None:
+                    src = self._route_through_dcc(node, out_neg)
+                self._emit(UAap(src, out_row))
+                self.state.written_out[out_row] = (node, out_neg)
+                self.pending_out[node].remove((out_row, out_neg))
+            del self.pending_out[node]
+
+    def _route_through_dcc(self, node: int, negated: bool) -> URow:
+        """Materialize a complement via a dual-contact cell round trip."""
+        src = self._find_source(node, not negated)
+        if src is None:
+            raise SchedulingError(
+                f"lost value of node {node} before output flush")
+        dcc = self._pick_dcc(frozenset())
+        self._emit(UAap(src, URow(Space.BGROUP, PLANE_NEG_ADDR[dcc])))
+        self.state.plane[dcc] = (node, negated)
+        return URow(Space.BGROUP, PLANE_POS_ADDR[dcc])
+
+    # ------------------------------------------------------------------
+    # peephole: AP(triple) + AAP(member, dst) -> AAP(triple, dst)
+    # ------------------------------------------------------------------
+    def _peephole(self, uops: list[MicroOp]) -> list[MicroOp]:
+        out: list[MicroOp] = []
+        i = 0
+        while i < len(uops):
+            op = uops[i]
+            if (isinstance(op, UAp) and i + 1 < len(uops)
+                    and isinstance(uops[i + 1], UAap)):
+                nxt = uops[i + 1]
+                if (nxt.src.space is Space.BGROUP
+                        and nxt.src.n_wordlines == 1
+                        and B_ADDRESS_MAP[nxt.src.index][0]
+                        in B_ADDRESS_MAP[op.addr.index]):
+                    out.append(UAap(op.addr, nxt.dst))
+                    i += 2
+                    continue
+            out.append(op)
+            i += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> tuple[list[MicroOp], int]:
+        """Schedule the whole MIG; returns (µops, temp row count)."""
+        for node in self.order:
+            self._schedule_node(node)
+        self._flush_outputs()
+        uops = self.uops
+        if self.options.peephole:
+            uops = self._peephole(uops)
+        return uops, self.state.high_water
+
+
+def schedule(mig: Mig, op_name: str, backend: str, element_width: int,
+             input_specs: list[OperandSpec], output_spec: OperandSpec,
+             input_rows: dict[str, URow], output_rows: dict[str, URow],
+             options: ScheduleOptions | None = None) -> MicroProgram:
+    """Compile ``mig`` into a :class:`MicroProgram` (the paper's Step 2)."""
+    scheduler = Scheduler(mig, input_rows, output_rows, options)
+    uops, n_temp = scheduler.run()
+    return MicroProgram(
+        op_name=op_name,
+        backend=backend,
+        element_width=element_width,
+        inputs=input_specs,
+        output=output_spec,
+        uops=uops,
+        n_temp_rows=n_temp,
+    )

@@ -1,0 +1,92 @@
+"""µOps — the instruction set of SIMDRAM µPrograms.
+
+A µProgram (paper §3, step 2) is a sequence of two composite DRAM
+commands, ``AAP`` and ``AP``, over *symbolic* row references.  Row
+references name a :class:`Space` plus an index inside it; the control
+unit binds spaces to concrete subarray rows when a ``bbop`` instruction
+supplies its operand addresses (step 3).  This mirrors the paper, where
+one stored µProgram serves any operand location.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.rows import B_ADDRESS_MAP
+from repro.errors import SchedulingError
+
+
+class Space(enum.Enum):
+    """Symbolic row spaces a µOp may reference."""
+
+    INPUT0 = "in0"    # first source operand, bit i at index i
+    INPUT1 = "in1"    # second source operand
+    INPUT2 = "in2"    # third source operand (e.g. if_else select)
+    OUTPUT = "out"    # destination operand
+    TEMP = "tmp"      # compiler-managed scratch rows (D-group)
+    CTRL = "ctl"      # C-group constants: index 0 = zeros, 1 = ones
+    BGROUP = "bg"     # B-group reserved addresses 0..15
+
+    @property
+    def is_input(self) -> bool:
+        return self in (Space.INPUT0, Space.INPUT1, Space.INPUT2)
+
+
+INPUT_SPACES = (Space.INPUT0, Space.INPUT1, Space.INPUT2)
+
+
+@dataclass(frozen=True, order=True)
+class URow:
+    """A symbolic row reference: a space plus an index within it."""
+
+    space: Space
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise SchedulingError(f"negative row index {self.index}")
+        if self.space is Space.CTRL and self.index not in (0, 1):
+            raise SchedulingError(f"CTRL rows are 0/1, got {self.index}")
+        if self.space is Space.BGROUP and self.index not in B_ADDRESS_MAP:
+            raise SchedulingError(f"B-group addresses are 0..15, "
+                                  f"got {self.index}")
+
+    @property
+    def n_wordlines(self) -> int:
+        """Wordlines this reference activates (B-group may raise 1-3)."""
+        if self.space is Space.BGROUP:
+            return len(B_ADDRESS_MAP[self.index])
+        return 1
+
+    def __str__(self) -> str:
+        return f"{self.space.value}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class UAap:
+    """ACTIVATE-ACTIVATE-PRECHARGE: copy ``src`` (or its TRA) into ``dst``."""
+
+    src: URow
+    dst: URow
+
+    def __str__(self) -> str:
+        return f"AAP {self.src} -> {self.dst}"
+
+
+@dataclass(frozen=True)
+class UAp:
+    """ACTIVATE-PRECHARGE on a B-group triple: a TRA (in-place majority)."""
+
+    addr: URow
+
+    def __post_init__(self) -> None:
+        if self.addr.space is not Space.BGROUP or self.addr.n_wordlines != 3:
+            raise SchedulingError(
+                f"AP µOps must target a B-group triple, got {self.addr}")
+
+    def __str__(self) -> str:
+        return f"AP  {self.addr}"
+
+
+MicroOp = UAap | UAp

@@ -1,0 +1,19 @@
+"""Shared utilities: bit packing/transposition helpers and table printing."""
+
+from repro.util.bitops import (
+    bits_to_ints,
+    ints_to_bits,
+    mask_for_width,
+    to_signed,
+    to_unsigned,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "bits_to_ints",
+    "ints_to_bits",
+    "mask_for_width",
+    "to_signed",
+    "to_unsigned",
+    "format_table",
+]

@@ -1,0 +1,67 @@
+"""Bit-level packing helpers shared by the layout, logic and DRAM layers.
+
+The vertical layout stores the *i*-th bit of every element of a vector in
+one DRAM row (bit-slice ``i``).  These helpers convert between numpy
+integer vectors and bit matrices of shape ``(width, n_elements)`` where row
+``i`` holds bit ``i`` (LSB first), which is exactly the orientation used by
+:class:`repro.dram.subarray.Subarray` rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OperationError
+
+
+def mask_for_width(width: int) -> int:
+    """Return the unsigned bit mask for ``width``-bit values (e.g. 0xFF for 8)."""
+    if width < 1:
+        raise OperationError(f"bit width must be >= 1, got {width}")
+    return (1 << width) - 1
+
+
+def to_unsigned(values: np.ndarray, width: int) -> np.ndarray:
+    """Reinterpret (possibly signed) integers as ``width``-bit unsigned values.
+
+    Negative inputs are mapped to their two's-complement encoding, which is
+    the representation SIMDRAM stores in DRAM columns.
+    """
+    mask = mask_for_width(width)
+    return np.asarray(values, dtype=np.int64) & mask
+
+
+def to_signed(values: np.ndarray, width: int) -> np.ndarray:
+    """Reinterpret ``width``-bit unsigned values as two's-complement signed."""
+    vals = np.asarray(values, dtype=np.int64) & mask_for_width(width)
+    sign_bit = 1 << (width - 1)
+    return np.where(vals >= sign_bit, vals - (1 << width), vals)
+
+
+def ints_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Transpose integers into a vertical bit matrix.
+
+    Returns a boolean array of shape ``(width, len(values))``; row ``i``
+    holds bit ``i`` (LSB first) of every element.  This is the software
+    equivalent of the SIMDRAM transposition unit's horizontal-to-vertical
+    direction.
+    """
+    vals = to_unsigned(values, width)
+    shifts = np.arange(width, dtype=np.int64)[:, None]
+    return ((vals[None, :] >> shifts) & 1).astype(bool)
+
+
+def bits_to_ints(bits: np.ndarray, signed: bool = False) -> np.ndarray:
+    """Inverse of :func:`ints_to_bits` (vertical-to-horizontal transposition).
+
+    ``bits`` has shape ``(width, n)`` with row ``i`` = bit ``i`` (LSB first).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.ndim != 2:
+        raise OperationError(f"expected 2-D bit matrix, got shape {bits.shape}")
+    width = bits.shape[0]
+    weights = (np.int64(1) << np.arange(width, dtype=np.int64))[:, None]
+    vals = (bits.astype(np.int64) * weights).sum(axis=0)
+    if signed:
+        return to_signed(vals, width)
+    return vals

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the SIMDRAM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Simdram, SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.dram.subarray import Subarray
+
+
+@pytest.fixture
+def small_geometry() -> DramGeometry:
+    """A tiny subarray: fast, but large enough for 16-bit µPrograms."""
+    return DramGeometry.sim_small(cols=32, data_rows=512, banks=2)
+
+
+@pytest.fixture
+def subarray(small_geometry) -> Subarray:
+    """A zero-initialized small subarray."""
+    return Subarray(small_geometry)
+
+
+@pytest.fixture
+def random_subarray(small_geometry) -> Subarray:
+    """A subarray with random power-up contents (catches programs that
+    rely on residual state)."""
+    return Subarray(small_geometry, rng=np.random.default_rng(1234))
+
+
+@pytest.fixture
+def sim() -> Simdram:
+    """A small end-to-end Simdram system (2 banks x 64 lanes)."""
+    config = SimdramConfig(
+        geometry=DramGeometry.sim_small(cols=64, data_rows=768, banks=2))
+    return Simdram(config, seed=7)
+
+
+def rand_bits(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Random boolean row of length ``n``."""
+    return rng.integers(0, 2, n).astype(bool)
+
+
+def edge_and_random_values(rng: np.random.Generator, width: int,
+                           n: int) -> np.ndarray:
+    """Input vectors mixing edge cases with random values."""
+    edges = np.array([0, 1, (1 << width) - 1, 1 << (width - 1),
+                      (1 << (width - 1)) - 1], dtype=np.int64)
+    edges = edges[edges < (1 << width)]
+    random_part = rng.integers(0, 1 << width, max(0, n - len(edges)))
+    values = np.concatenate([edges, random_part])[:n]
+    return values.astype(np.int64)

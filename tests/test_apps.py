@@ -1,0 +1,179 @@
+"""Tests for the seven application kernels: functional correctness on the
+simulator and sanity of the op-mix performance models."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BitSlicedColumn,
+    KernelHarness,
+    LineitemTable,
+    adjust_brightness_golden,
+    adjust_brightness_simdram,
+    bitweaving_kernel,
+    brightness_kernel,
+    conv2d_simdram,
+    filtered_sum_golden,
+    filtered_sum_simdram,
+    knn_classify_golden,
+    knn_classify_simdram,
+    knn_kernel,
+    lenet_kernel,
+    paper_kernels,
+    range_scan_golden,
+    range_scan_simdram,
+    relu_simdram,
+    tpch_kernel,
+    vgg13_kernel,
+    vgg16_kernel,
+)
+from repro.apps.cnn import LENET_LAYERS, VGG13_LAYERS, VGG16_LAYERS
+from repro.core.framework import Simdram, SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.errors import OperationError
+from repro.perf.platforms import cpu_skylake, gpu_volta
+
+
+@pytest.fixture(scope="module")
+def app_sim():
+    config = SimdramConfig(
+        geometry=DramGeometry.sim_small(cols=128, data_rows=640, banks=2))
+    return Simdram(config, seed=13)
+
+
+class TestBrightness:
+    @pytest.mark.parametrize("delta", (60, -75, 0, 255, -255))
+    def test_matches_golden(self, app_sim, delta):
+        rng = np.random.default_rng(delta & 0xFF)
+        image = rng.integers(0, 256, (12, 12)).astype(np.uint8)
+        got = adjust_brightness_simdram(app_sim, image, delta)
+        assert np.array_equal(got, adjust_brightness_golden(image, delta))
+
+    def test_requires_uint8(self, app_sim):
+        with pytest.raises(OperationError):
+            adjust_brightness_simdram(app_sim,
+                                      np.zeros((2, 2), dtype=np.int32), 1)
+
+
+class TestTpch:
+    def test_filtered_sum_matches_golden(self, app_sim):
+        table = LineitemTable.synthetic(150, seed=5)
+        got = filtered_sum_simdram(app_sim, table, 30)
+        assert got == filtered_sum_golden(table, 30)
+
+    def test_empty_selection(self, app_sim):
+        table = LineitemTable.synthetic(100, seed=6)
+        assert filtered_sum_simdram(app_sim, table, 1) == \
+            filtered_sum_golden(table, 1)
+
+
+class TestBitWeaving:
+    def test_range_scan_matches_golden(self, app_sim):
+        column = BitSlicedColumn.synthetic(200, seed=7)
+        got = range_scan_simdram(app_sim, column, 500, 3500)
+        assert np.array_equal(got, range_scan_golden(column, 500, 3500))
+
+    def test_bad_range_rejected(self, app_sim):
+        column = BitSlicedColumn.synthetic(10)
+        with pytest.raises(OperationError):
+            range_scan_simdram(app_sim, column, 10, 1 << 20)
+
+
+class TestKnn:
+    def test_classification_matches_golden(self, app_sim):
+        rng = np.random.default_rng(8)
+        references = rng.integers(0, 256, (30, 6)).astype(np.uint8)
+        labels = rng.integers(0, 3, 30)
+        queries = rng.integers(0, 256, (4, 6)).astype(np.uint8)
+        got = knn_classify_simdram(app_sim, references, labels, queries)
+        assert np.array_equal(
+            got, knn_classify_golden(references, labels, queries))
+
+    def test_label_length_checked(self, app_sim):
+        with pytest.raises(OperationError):
+            knn_classify_simdram(app_sim, np.zeros((4, 2), dtype=np.uint8),
+                                 np.zeros(3, dtype=np.int64),
+                                 np.zeros((1, 2), dtype=np.uint8))
+
+
+class TestCnn:
+    def test_conv2d_matches_direct_correlation(self, app_sim):
+        rng = np.random.default_rng(9)
+        image = rng.integers(0, 100, (8, 8))
+        kernel = rng.integers(-3, 4, (3, 3))
+        got = conv2d_simdram(app_sim, image, kernel)
+        expected = np.zeros((6, 6), dtype=np.int64)
+        for y in range(6):
+            for x in range(6):
+                expected[y, x] = (image[y:y + 3, x:x + 3] * kernel).sum()
+        assert np.array_equal(got, expected)
+
+    def test_relu_helper(self, app_sim):
+        values = np.array([[-10, 4], [0, -1]])
+        assert np.array_equal(relu_simdram(app_sim, values),
+                              [[0, 4], [0, 0]])
+
+    def test_kernel_larger_than_image_rejected(self, app_sim):
+        with pytest.raises(OperationError):
+            conv2d_simdram(app_sim, np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_layer_shapes(self):
+        assert len([l for l in VGG13_LAYERS]) == 13
+        assert len([l for l in VGG16_LAYERS]) == 16
+        assert len(LENET_LAYERS) == 5
+
+    def test_vgg16_heavier_than_vgg13(self):
+        assert sum(i.n_elements for i in vgg16_kernel().invocations) > \
+            sum(i.n_elements for i in vgg13_kernel().invocations)
+
+
+class TestKernelModels:
+    def test_seven_paper_kernels(self):
+        kernels = paper_kernels()
+        assert len(kernels) == 7
+        names = {k.name for k in kernels}
+        assert names == {"VGG-13", "VGG-16", "LeNet-5", "kNN", "TPC-H",
+                         "BitWeaving", "Brightness"}
+
+    def test_simdram_beats_ambit_on_every_kernel(self):
+        harness = KernelHarness()
+        for kernel in paper_kernels():
+            simdram = harness.measure_pim(kernel, "simdram", 16)
+            ambit = harness.measure_pim(kernel, "ambit", 16)
+            assert simdram.time_ms < ambit.time_ms, kernel.name
+            assert simdram.energy_mj < ambit.energy_mj, kernel.name
+
+    def test_simdram_beats_cpu_on_every_kernel(self):
+        harness = KernelHarness()
+        cpu = cpu_skylake()
+        for kernel in paper_kernels():
+            simdram = harness.measure_pim(kernel, "simdram", 16)
+            host = harness.measure_host(kernel, cpu)
+            assert simdram.time_ms < host.time_ms, kernel.name
+
+    def test_bank_scaling_reduces_time(self):
+        harness = KernelHarness()
+        kernel = tpch_kernel(1_000_000)
+        one = harness.measure_pim(kernel, "simdram", 1)
+        sixteen = harness.measure_pim(kernel, "simdram", 16)
+        assert sixteen.time_ms < one.time_ms
+
+    def test_kernel_invocation_validation(self):
+        from repro.apps.common import OpInvocation
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            OpInvocation("add", 8, 0)
+
+    def test_kernel_scales(self):
+        small = knn_kernel(n_references=100, n_queries=1)
+        large = knn_kernel(n_references=1000, n_queries=1)
+        harness = KernelHarness()
+        assert harness.measure_pim(large).time_ms > \
+            harness.measure_pim(small).time_ms
+
+    def test_bitweaving_has_no_transposition_cost(self):
+        assert bitweaving_kernel().transposed_bits == 0
+
+    def test_brightness_kernel_element_counts(self):
+        kernel = brightness_kernel(width=100, height=10)
+        assert all(inv.n_elements == 1000 for inv in kernel.invocations)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "frobnicate", "8"])
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["compile", "add", "8", "--backend", "ambit"])
+        assert args.backend == "ambit"
+
+
+class TestCommands:
+    def test_ops_lists_catalog(self, capsys):
+        assert main(["ops"]) == 0
+        out = capsys.readouterr().out
+        assert "add" in out and "xor_red" in out
+        assert "paper" in out and "extension" in out
+
+    def test_compile_prints_listing(self, capsys):
+        assert main(["compile", "add", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "AAP" in out and "latency" in out
+
+    def test_compile_full_listing(self, capsys):
+        assert main(["compile", "gt", "4", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" not in out
+
+    def test_compare_prints_platforms(self, capsys):
+        assert main(["compare", "add", "8"]) == 0
+        out = capsys.readouterr().out
+        for platform in ("CPU", "GPU", "Ambit:1", "SIMDRAM:16"):
+            assert platform in out
+
+    def test_demo_runs_green(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against numpy" in out

@@ -1,0 +1,70 @@
+"""Unit tests for the bank/module layer (lockstep multi-bank execution)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.bank import DramModule
+from repro.dram.geometry import DramGeometry
+from repro.dram.rows import b_row, ctrl_row, data_row
+from repro.errors import GeometryError
+
+
+@pytest.fixture
+def module():
+    return DramModule(DramGeometry.sim_small(cols=16, data_rows=32,
+                                             banks=4))
+
+
+class TestStriping:
+    def test_write_read_roundtrip(self, module):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, module.lanes).astype(bool)
+        module.write_striped(data_row(3), bits)
+        assert np.array_equal(module.read_striped(data_row(3)), bits)
+
+    def test_lanes(self, module):
+        assert module.lanes == 16 * 4
+
+    def test_wrong_length_rejected(self, module):
+        with pytest.raises(GeometryError):
+            module.write_striped(data_row(0),
+                                 np.zeros(module.lanes + 1, dtype=bool))
+
+    def test_banks_hold_disjoint_segments(self, module):
+        bits = np.zeros(module.lanes, dtype=bool)
+        bits[:16] = True  # only bank 0's segment
+        module.write_striped(data_row(0), bits)
+        assert module.banks[0].subarray.peek(data_row(0)).all()
+        assert not module.banks[1].subarray.peek(data_row(0)).any()
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_banks(self, module):
+        module.broadcast_aap(ctrl_row(1), data_row(5))
+        for bank in module.banks:
+            assert bank.subarray.peek(data_row(5)).all()
+
+    def test_broadcast_subset_of_banks(self, module):
+        module.broadcast_aap(ctrl_row(1), data_row(5), n_banks=2)
+        assert module.banks[1].subarray.peek(data_row(5)).all()
+        assert not module.banks[2].subarray.peek(data_row(5)).any()
+
+    def test_broadcast_ap_counts_stats(self, module):
+        module.broadcast_aap(ctrl_row(0), b_row(0))
+        module.broadcast_aap(ctrl_row(0), b_row(1))
+        module.broadcast_aap(ctrl_row(0), b_row(2))
+        module.broadcast_ap(b_row(12))
+        total = module.total_stats()
+        assert total.n_ap == 4      # one per bank
+        assert total.n_aap == 12
+
+    def test_bad_bank_count_rejected(self, module):
+        with pytest.raises(GeometryError):
+            module.broadcast_ap(b_row(12), n_banks=99)
+
+    def test_seeded_module_randomizes_banks_differently(self):
+        module = DramModule(
+            DramGeometry.sim_small(cols=64, data_rows=16, banks=2), seed=9)
+        row0 = module.banks[0].subarray.peek(data_row(0))
+        row1 = module.banks[1].subarray.peek(data_row(0))
+        assert not np.array_equal(row0, row1)

@@ -1,0 +1,91 @@
+"""Unit tests for the subarray row address space (Ambit B-group map)."""
+
+import pytest
+
+from repro.dram.rows import (
+    B_ADDRESS_MAP,
+    DCC_PAIRS,
+    TRA_TRIPLES,
+    WORDLINE_ADDRESS,
+    RowAddress,
+    RowGroup,
+    Wordline,
+    b_row,
+    ctrl_row,
+    data_row,
+    tra_address,
+)
+from repro.errors import AddressError
+
+
+class TestBAddressMap:
+    def test_sixteen_reserved_addresses(self):
+        assert sorted(B_ADDRESS_MAP) == list(range(16))
+
+    def test_eight_single_four_double_four_triple(self):
+        sizes = [len(wls) for wls in B_ADDRESS_MAP.values()]
+        assert sizes.count(1) == 8
+        assert sizes.count(2) == 4
+        assert sizes.count(3) == 4
+
+    def test_every_wordline_individually_addressable(self):
+        singles = {wls[0] for wls in B_ADDRESS_MAP.values()
+                   if len(wls) == 1}
+        assert singles == set(Wordline)
+
+    def test_triples_use_distinct_planes(self):
+        # No triple may touch both ports of one dual-contact cell.
+        for wordlines in TRA_TRIPLES:
+            planes = set()
+            for wordline in wordlines:
+                pair = DCC_PAIRS.get(wordline)
+                assert pair not in planes
+                planes.add(wordline)
+
+    def test_dcc_pairs_symmetric(self):
+        for a, b in DCC_PAIRS.items():
+            assert DCC_PAIRS[b] is a
+
+    def test_wordline_address_reads_back(self):
+        for wordline, address in WORDLINE_ADDRESS.items():
+            assert address.wordlines() == (wordline,)
+
+
+class TestRowAddress:
+    def test_data_row_str(self):
+        assert str(data_row(42)) == "D42"
+
+    def test_ctrl_rows_limited_to_two(self):
+        ctrl_row(0)
+        ctrl_row(1)
+        with pytest.raises(AddressError):
+            ctrl_row(2)
+
+    def test_b_rows_limited_to_sixteen(self):
+        with pytest.raises(AddressError):
+            b_row(16)
+
+    def test_negative_data_row_rejected(self):
+        with pytest.raises(AddressError):
+            data_row(-1)
+
+    def test_n_wordlines(self):
+        assert data_row(0).n_wordlines == 1
+        assert ctrl_row(1).n_wordlines == 1
+        assert b_row(12).n_wordlines == 3
+        assert b_row(8).n_wordlines == 2
+
+    def test_ordering_and_hashing(self):
+        assert data_row(1) == RowAddress(RowGroup.DATA, 1)
+        assert len({data_row(1), data_row(1), data_row(2)}) == 2
+
+
+class TestTraAddress:
+    def test_all_four_triples_resolvable(self):
+        for wordlines, index in TRA_TRIPLES.items():
+            assert tra_address(wordlines) == b_row(index)
+
+    def test_unwired_triple_rejected(self):
+        bad = frozenset({Wordline.T0, Wordline.T1, Wordline.T3})
+        with pytest.raises(AddressError):
+            tra_address(bad)

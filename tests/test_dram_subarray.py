@@ -1,0 +1,206 @@
+"""Unit and property tests for the bit-accurate subarray simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.rows import b_row, ctrl_row, data_row
+from repro.dram.subarray import Subarray, majority3
+from repro.errors import AddressError, CommandError
+
+COLS = 16
+
+
+@pytest.fixture
+def sa():
+    return Subarray(DramGeometry.sim_small(cols=COLS, data_rows=32))
+
+
+def row(*bits):
+    return np.array(bits, dtype=bool)
+
+
+def fill(sa, index, rng):
+    bits = rng.integers(0, 2, sa.cols).astype(bool)
+    sa.write_row(data_row(index), bits)
+    return bits
+
+
+class TestMajority3:
+    def test_exhaustive_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    expected = (a + b + c) >= 2
+                    got = majority3(np.array([bool(a)]), np.array([bool(b)]),
+                                    np.array([bool(c)]))
+                    assert got[0] == expected
+
+
+class TestTra:
+    def test_tra_computes_majority(self, sa):
+        rng = np.random.default_rng(0)
+        a, b, c = (rng.integers(0, 2, COLS).astype(bool) for _ in range(3))
+        for i, bits in enumerate((a, b, c)):
+            sa.write_row(data_row(i), bits)
+            sa.aap(data_row(i), b_row(i))  # load into T0, T1, T2
+        sa.ap(b_row(12))
+        expected = majority3(a, b, c)
+        for i in range(3):
+            assert np.array_equal(sa.peek(b_row(i)), expected)
+
+    def test_tra_is_destructive(self, sa):
+        ones = np.ones(COLS, dtype=bool)
+        zeros = np.zeros(COLS, dtype=bool)
+        sa.poke(b_row(0), ones)
+        sa.poke(b_row(1), zeros)
+        sa.poke(b_row(2), zeros)
+        sa.ap(b_row(12))
+        # All three rows now hold the majority (0), T0's 1s are gone.
+        assert not sa.peek(b_row(0)).any()
+
+    def test_tra_through_dcc_port_uses_complement(self, sa):
+        rng = np.random.default_rng(1)
+        value = rng.integers(0, 2, COLS).astype(bool)
+        ones = np.ones(COLS, dtype=bool)
+        sa.write_row(data_row(0), value)
+        sa.aap(data_row(0), b_row(6))   # DCC0 cell := value
+        sa.poke(b_row(1), ones)
+        sa.poke(b_row(2), np.zeros(COLS, dtype=bool))
+        sa.ap(b_row(14))  # TRA(DCC0N, T1, T2) = MAJ(~value, 1, 0) = ~value
+        assert np.array_equal(sa.peek(b_row(4)), ~value)
+        # The DCC cell itself was restored through the negated port.
+        assert np.array_equal(sa.peek(b_row(6)), value)
+
+    def test_single_ap_is_refresh(self, sa):
+        rng = np.random.default_rng(2)
+        bits = fill(sa, 0, rng)
+        sa.ap(data_row(0))
+        assert np.array_equal(sa.peek(data_row(0)), bits)
+
+    def test_ap_counts_wordlines(self, sa):
+        sa.ap(b_row(12))
+        assert sa.stats.n_ap == 1
+        assert sa.stats.ap_wordlines == 3
+
+
+class TestAap:
+    def test_copy_data_to_data(self, sa):
+        rng = np.random.default_rng(3)
+        bits = fill(sa, 0, rng)
+        sa.aap(data_row(0), data_row(5))
+        assert np.array_equal(sa.peek(data_row(5)), bits)
+        assert np.array_equal(sa.peek(data_row(0)), bits)  # source intact
+
+    def test_copy_control_rows(self, sa):
+        sa.aap(ctrl_row(1), data_row(3))
+        assert sa.peek(data_row(3)).all()
+        sa.aap(ctrl_row(0), data_row(3))
+        assert not sa.peek(data_row(3)).any()
+
+    def test_copy_into_double_address(self, sa):
+        rng = np.random.default_rng(4)
+        bits = fill(sa, 0, rng)
+        sa.aap(data_row(0), b_row(10))  # T2 and T3 at once
+        assert np.array_equal(sa.peek(b_row(2)), bits)
+        assert np.array_equal(sa.peek(b_row(3)), bits)
+
+    def test_dcc_write_positive_port_reads_complement(self, sa):
+        rng = np.random.default_rng(5)
+        bits = fill(sa, 0, rng)
+        sa.aap(data_row(0), b_row(6))          # write via DCC0
+        assert np.array_equal(sa.peek(b_row(4)), ~bits)   # read via !DCC0
+
+    def test_dcc_write_negative_port_reads_complement(self, sa):
+        rng = np.random.default_rng(6)
+        bits = fill(sa, 0, rng)
+        sa.aap(data_row(0), b_row(4))          # write via !DCC0
+        assert np.array_equal(sa.peek(b_row(6)), ~bits)   # read via DCC0
+        assert np.array_equal(sa.peek(b_row(4)), bits)
+
+    def test_fused_tra_copy(self, sa):
+        rng = np.random.default_rng(7)
+        a, b, c = (rng.integers(0, 2, COLS).astype(bool) for _ in range(3))
+        for i, bits in enumerate((a, b, c)):
+            sa.poke(b_row(i), bits)
+        sa.aap(b_row(12), data_row(9))  # AAP whose first ACT is the TRA
+        assert np.array_equal(sa.peek(data_row(9)), majority3(a, b, c))
+
+    def test_double_source_requires_equal_rows(self, sa):
+        sa.poke(b_row(2), np.ones(COLS, dtype=bool))
+        sa.poke(b_row(3), np.zeros(COLS, dtype=bool))
+        with pytest.raises(CommandError):
+            sa.aap(b_row(10), data_row(0))
+
+    def test_double_source_allowed_when_equal(self, sa):
+        bits = np.ones(COLS, dtype=bool)
+        sa.poke(b_row(2), bits)
+        sa.poke(b_row(3), bits)
+        sa.aap(b_row(10), data_row(0))
+        assert sa.peek(data_row(0)).all()
+
+    def test_control_rows_not_writable(self, sa):
+        with pytest.raises(CommandError):
+            sa.aap(data_row(0), ctrl_row(0))
+
+    def test_stats_track_wordlines(self, sa):
+        sa.aap(data_row(0), b_row(10))
+        assert sa.stats.n_aap == 1
+        assert sa.stats.aap_src_wordlines == 1
+        assert sa.stats.aap_dst_wordlines == 2
+
+
+class TestHostAccess:
+    def test_write_then_read(self, sa):
+        rng = np.random.default_rng(8)
+        bits = rng.integers(0, 2, COLS).astype(bool)
+        sa.write_row(data_row(7), bits)
+        assert np.array_equal(sa.read_row(data_row(7)), bits)
+        assert sa.stats.host_bits_written == COLS
+        assert sa.stats.host_bits_read == COLS
+
+    def test_read_control_row_constants(self, sa):
+        assert not sa.read_row(ctrl_row(0)).any()
+        assert sa.read_row(ctrl_row(1)).all()
+
+    def test_write_wrong_shape_rejected(self, sa):
+        with pytest.raises(CommandError):
+            sa.write_row(data_row(0), np.zeros(COLS + 1, dtype=bool))
+
+    def test_multi_wordline_host_access_rejected(self, sa):
+        with pytest.raises(CommandError):
+            sa.read_row(b_row(12))
+        with pytest.raises(CommandError):
+            sa.write_row(b_row(10), np.zeros(COLS, dtype=bool))
+
+    def test_out_of_range_row_rejected(self, sa):
+        with pytest.raises(AddressError):
+            sa.read_row(data_row(999))
+
+
+class TestRandomInitialState:
+    def test_randomized_contents_differ_from_zero(self):
+        geometry = DramGeometry.sim_small(cols=64, data_rows=32)
+        sa = Subarray(geometry, rng=np.random.default_rng(0))
+        contents = np.concatenate(
+            [sa.peek(data_row(i)) for i in range(8)])
+        assert contents.any() and not contents.all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**COLS - 1),
+       st.integers(min_value=0, max_value=2**COLS - 1),
+       st.integers(min_value=0, max_value=2**COLS - 1))
+def test_tra_majority_property(a_int, b_int, c_int):
+    """TRA result equals bitwise majority for arbitrary row contents."""
+    sa = Subarray(DramGeometry.sim_small(cols=COLS, data_rows=4))
+    rows = []
+    for i, packed in enumerate((a_int, b_int, c_int)):
+        bits = np.array([(packed >> j) & 1 for j in range(COLS)],
+                        dtype=bool)
+        rows.append(bits)
+        sa.poke(b_row(i + 1), bits)  # T1, T2, T3
+    sa.ap(b_row(13))
+    expected = majority3(*rows)
+    assert np.array_equal(sa.peek(b_row(1)), expected)

@@ -1,0 +1,26 @@
+"""Smoke tests: every example script must run green end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship six
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(path):
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True,
+        timeout=600)
+    assert result.returncode == 0, (
+        f"{path.name} failed:\n{result.stdout}\n{result.stderr}")
+    assert result.stdout.strip(), f"{path.name} printed nothing"

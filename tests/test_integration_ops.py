@@ -1,0 +1,119 @@
+"""End-to-end functional verification of every catalog operation.
+
+For every operation x width x backend, the compiled µProgram is executed
+on the bit-accurate simulator (randomized initial DRAM contents) through
+the full facade — transposition in, bbop dispatch, multi-bank lockstep
+execution, transposition out — and compared against the golden model on
+inputs mixing edge cases with random values.  This is the reproduction's
+master correctness gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Simdram, SimdramConfig
+from repro.core.operations import PAPER_OPERATIONS, get_operation
+from repro.dram.geometry import DramGeometry
+from repro.util.bitops import to_signed, to_unsigned
+
+from tests.conftest import edge_and_random_values
+
+WIDTHS = (4, 8)
+BACKENDS = ("simdram", "ambit")
+
+
+def make_sim(seed=5):
+    config = SimdramConfig(
+        geometry=DramGeometry.sim_small(cols=32, data_rows=900, banks=2))
+    return Simdram(config, seed=seed)
+
+
+def run_op(sim, op_name, width, backend, rng):
+    spec = get_operation(op_name)
+    n = 60  # spans both banks
+    raw_inputs = []
+    arrays = []
+    for operand_index, in_width in enumerate(spec.in_widths(width)):
+        values = edge_and_random_values(rng, in_width, n)
+        if op_name == "div" and operand_index == 1:
+            values = np.maximum(values, 1)
+        raw_inputs.append(to_unsigned(values, in_width))
+        arrays.append(sim.array(values, in_width))
+    out = sim.run(op_name, *arrays, backend=backend)
+    got = out.to_numpy()
+    expected = spec.golden(raw_inputs, width)
+    if spec.signed:
+        expected = to_signed(expected, spec.out_width(width))
+    for array in arrays:
+        array.free()
+    out.free()
+    return got, expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("op_name", PAPER_OPERATIONS)
+def test_operation_end_to_end(op_name, width, backend):
+    sim = make_sim()
+    rng = np.random.default_rng(hash((op_name, width, backend)) % 2**32)
+    got, expected = run_op(sim, op_name, width, backend, rng)
+    assert np.array_equal(got, expected), (
+        f"{op_name} w={width} backend={backend}: {got} != {expected}")
+
+
+@pytest.mark.parametrize("op_name", ("add", "gt", "relu", "and_red"))
+def test_cheap_operations_at_width_16(op_name):
+    sim = make_sim(seed=9)
+    rng = np.random.default_rng(123)
+    got, expected = run_op(sim, op_name, 16, "simdram", rng)
+    assert np.array_equal(got, expected)
+
+
+def test_division_by_zero_end_to_end():
+    """The hardware divider's div-by-zero contract survives end to end."""
+    sim = make_sim(seed=11)
+    a = sim.array(np.array([17, 0, 255, 3]), 8)
+    b = sim.array(np.array([0, 0, 5, 0]), 8)
+    out = sim.run("div", a, b)
+    assert list(out.to_numpy()) == [255, 255, 51, 255]
+
+
+def test_simdram_beats_ambit_on_command_counts():
+    """The framework's core claim: MAJ/NOT lowers activation counts."""
+    sim = make_sim()
+    wins = 0
+    for op_name in PAPER_OPERATIONS:
+        simdram = sim.compile(op_name, 8, backend="simdram")
+        ambit = sim.compile(op_name, 8, backend="ambit")
+        assert simdram.n_commands <= ambit.n_commands, op_name
+        if simdram.n_commands < ambit.n_commands:
+            wins += 1
+    # Strictly better on (at least) 15 of 16; relu may tie because its
+    # single shared complement is re-materialized per TRA either way.
+    assert wins >= 15
+
+
+def test_chained_operations_share_memory():
+    """Outputs are first-class operands for subsequent operations."""
+    sim = make_sim(seed=21)
+    a = sim.array(np.arange(40), 8)
+    b = sim.array(np.full(40, 3), 8)
+    total = sim.run("add", a, b)          # a + 3
+    doubled = sim.run("add", total, total)  # 2a + 6
+    capped = sim.run("min", doubled,
+                     sim.array(np.full(40, 50), 8, signed=True))
+    got = capped.to_numpy()
+    expected = np.minimum(2 * np.arange(40) + 6, 50)
+    assert np.array_equal(got, expected)
+
+
+def test_multibank_striping_preserves_alignment():
+    """Elements in the second bank compute exactly like the first."""
+    sim = make_sim(seed=31)
+    lanes = sim.module.lanes
+    values = np.arange(lanes) % 251
+    a = sim.array(values, 8)
+    b = sim.array(np.flip(values), 8)
+    out = sim.run("add", a, b)
+    assert np.array_equal(out.to_numpy(),
+                          (values + np.flip(values)) % 256)

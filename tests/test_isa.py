@@ -1,0 +1,97 @@
+"""Tests for the bbop ISA extension."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    OPCODES,
+    BbopInstruction,
+    BbopKind,
+    bbop,
+    bbop_trsp_init,
+    register_opcode,
+)
+
+
+class TestEncoding:
+    def test_roundtrip_binary(self):
+        instr = bbop("add", dst=100, srcs=[10, 20], n_elements=4096,
+                     element_width=32)
+        raw = instr.encode()
+        assert len(raw) == 32
+        assert BbopInstruction.decode(raw) == instr
+
+    def test_roundtrip_ternary(self):
+        instr = bbop("if_else", dst=5, srcs=[1, 2, 3], n_elements=7,
+                     element_width=8)
+        assert BbopInstruction.decode(instr.encode()) == instr
+        assert instr.kind is BbopKind.TERNARY
+
+    def test_roundtrip_large_element_count(self):
+        instr = bbop("add", dst=0, srcs=[1, 2], n_elements=100_000_000,
+                     element_width=8)
+        assert BbopInstruction.decode(instr.encode()).n_elements == \
+            100_000_000
+
+    def test_trsp_init(self):
+        instr = bbop_trsp_init(base=64, n_elements=1024, element_width=16)
+        assert instr.kind is BbopKind.TRSP_INIT
+        assert BbopInstruction.decode(instr.encode()) == instr
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(IsaError):
+            BbopInstruction.decode(b"\x00" * 7)
+
+    def test_unknown_opcode_rejected(self):
+        raw = bytearray(bbop("add", 0, [1, 2], 1, 8).encode())
+        raw[0] = 0xFF
+        with pytest.raises(IsaError):
+            BbopInstruction.decode(bytes(raw))
+
+
+class TestValidation:
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(IsaError):
+            BbopInstruction(op="frobnicate", kind=BbopKind.BINARY,
+                            element_width=8, dst=0, src0=0)
+
+    def test_width_bounds(self):
+        with pytest.raises(IsaError):
+            bbop("add", 0, [1, 2], 1, element_width=0)
+        with pytest.raises(IsaError):
+            bbop("add", 0, [1, 2], 1, element_width=65)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(IsaError):
+            BbopInstruction(op="add", kind=BbopKind.BINARY,
+                            element_width=8, dst=-1, src0=0)
+
+    def test_source_count_bounds(self):
+        with pytest.raises(IsaError):
+            bbop("add", 0, [], 1, 8)
+        with pytest.raises(IsaError):
+            bbop("add", 0, [1, 2, 3, 4], 1, 8)
+
+
+class TestOpcodes:
+    def test_paper_operations_have_opcodes(self):
+        for name in ("add", "mul", "div", "if_else", "bitcount",
+                     "xor_red", "trsp_init"):
+            assert name in OPCODES
+
+    def test_register_opcode_idempotent(self):
+        first = register_opcode("my_custom_op_test")
+        second = register_opcode("my_custom_op_test")
+        assert first == second
+
+    def test_registered_opcode_decodes(self):
+        register_opcode("my_decodable_op")
+        instr = BbopInstruction(op="my_decodable_op", kind=BbopKind.UNARY,
+                                element_width=8, dst=1, src0=2,
+                                n_elements=3)
+        assert BbopInstruction.decode(instr.encode()).op == \
+            "my_decodable_op"
+
+    def test_opcodes_unique(self):
+        codes = list(OPCODES.values())
+        assert len(codes) == len(set(codes))

@@ -1,0 +1,135 @@
+"""Unit tests for the gate-level circuit builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.logic.circuit import Circuit, GateType
+
+
+def eval1(circuit, **inputs):
+    arrays = {k: np.array([bool(v)]) for k, v in inputs.items()}
+    return {k: bool(v[0]) for k, v in circuit.evaluate(arrays).items()}
+
+
+class TestGateSemantics:
+    @pytest.mark.parametrize("method,table", [
+        ("and_", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ("or_", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        ("xor", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ("xnor", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ("nand", {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ("nor", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+    ])
+    def test_binary_gates(self, method, table):
+        for (a, b), expected in table.items():
+            c = Circuit()
+            net = getattr(c, method)(c.input("a"), c.input("b"))
+            c.set_output("y", net)
+            assert eval1(c, a=a, b=b)["y"] == bool(expected)
+
+    def test_not(self):
+        c = Circuit()
+        c.set_output("y", c.not_(c.input("a")))
+        assert eval1(c, a=0)["y"] is True
+        assert eval1(c, a=1)["y"] is False
+
+    def test_maj_truth_table(self):
+        for bits in range(8):
+            a, b, d = (bits >> 0) & 1, (bits >> 1) & 1, (bits >> 2) & 1
+            c = Circuit()
+            c.set_output("y", c.maj(c.input("a"), c.input("b"),
+                                    c.input("c")))
+            assert eval1(c, a=a, b=b, c=d)["y"] == (a + b + d >= 2)
+
+    def test_mux_selects(self):
+        c = Circuit()
+        c.set_output("y", c.mux(c.input("s"), c.input("a"), c.input("b")))
+        assert eval1(c, s=1, a=1, b=0)["y"] is True
+        assert eval1(c, s=0, a=1, b=0)["y"] is False
+
+    def test_const(self):
+        c = Circuit()
+        c.set_output("one", c.const(True))
+        c.set_output("zero", c.const(False))
+        out = eval1(c)
+        assert out["one"] is True and out["zero"] is False
+
+
+class TestBuilderBehaviour:
+    def test_structural_hashing_deduplicates(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        assert c.and_(a, b) == c.and_(a, b)
+        assert c.and_(a, b) == c.and_(b, a)  # commutative canonical order
+
+    def test_double_negation_folds(self):
+        c = Circuit()
+        a = c.input("a")
+        assert c.not_(c.not_(a)) == a
+
+    def test_not_of_const_folds(self):
+        c = Circuit()
+        assert c.not_(c.const(False)) == c.const(True)
+
+    def test_input_reuse_by_name(self):
+        c = Circuit()
+        assert c.input("a") == c.input("a")
+        assert c.input("a") != c.input("b")
+
+    def test_reduce_tree(self):
+        c = Circuit()
+        nets = [c.input(f"i{k}") for k in range(5)]
+        c.set_output("y", c.reduce(GateType.AND, nets))
+        values = {f"i{k}": 1 for k in range(5)}
+        assert eval1(c, **values)["y"] is True
+        values["i3"] = 0
+        assert eval1(c, **values)["y"] is False
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            Circuit().reduce(GateType.AND, [])
+
+    def test_duplicate_output_rejected(self):
+        c = Circuit()
+        a = c.input("a")
+        c.set_output("y", a)
+        with pytest.raises(SynthesisError):
+            c.set_output("y", a)
+
+    def test_unknown_net_rejected(self):
+        c = Circuit()
+        with pytest.raises(SynthesisError):
+            c.set_output("y", 99)
+
+    def test_gate_counts(self):
+        c = Circuit()
+        a, b = c.input("a"), c.input("b")
+        c.set_output("y", c.and_(a, b))
+        assert c.n_gates == 1
+        assert c.count(GateType.AND) == 1
+        assert c.count(GateType.OR) == 0
+
+
+class TestEvaluation:
+    def test_vectorized_over_lanes(self):
+        c = Circuit()
+        c.set_output("y", c.xor(c.input("a"), c.input("b")))
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 100).astype(bool)
+        b = rng.integers(0, 2, 100).astype(bool)
+        out = c.evaluate({"a": a, "b": b})
+        assert np.array_equal(out["y"], a ^ b)
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        c.set_output("y", c.input("a"))
+        with pytest.raises(SynthesisError):
+            c.evaluate({})
+
+    def test_mismatched_shapes_rejected(self):
+        c = Circuit()
+        c.set_output("y", c.and_(c.input("a"), c.input("b")))
+        with pytest.raises(SynthesisError):
+            c.evaluate({"a": np.zeros(3, dtype=bool),
+                        "b": np.zeros(4, dtype=bool)})

@@ -1,0 +1,266 @@
+"""Tests for the arithmetic circuit library (both substrate styles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.logic import library
+from repro.logic.circuit import Circuit, GateType
+from repro.util.bitops import bits_to_ints, ints_to_bits, to_signed
+
+STYLES = ("maj", "classic")
+WIDTH = 8
+N = 64
+
+
+def _operands(circuit, width, prefixes=("a", "b")):
+    return [[circuit.input(f"{p}{i}") for i in range(width)]
+            for p in prefixes]
+
+
+def _run(circuit, out_bits, values_by_prefix, width):
+    inputs = {}
+    for prefix, values in values_by_prefix.items():
+        bits = ints_to_bits(values, width)
+        inputs.update({f"{prefix}{i}": bits[i] for i in range(width)})
+    for i, net in enumerate(out_bits):
+        circuit.set_output(f"out{i}", net)
+    out = circuit.evaluate(inputs)
+    return bits_to_ints(np.stack([out[f"out{i}"]
+                                  for i in range(len(out_bits))]))
+
+
+@pytest.fixture
+def vectors():
+    rng = np.random.default_rng(42)
+    a = rng.integers(0, 2**WIDTH, N)
+    b = rng.integers(0, 2**WIDTH, N)
+    return a, b
+
+
+@pytest.mark.parametrize("style", STYLES)
+class TestAddSub:
+    def test_ripple_add(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        total, carry = library.ripple_add(c, av, bv, style=style)
+        got = _run(c, total + [carry], {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got, a + b)  # carry = bit 8
+
+    def test_ripple_add_with_carry_in(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        total, _ = library.ripple_add(c, av, bv, cin=c.const(True),
+                                      style=style)
+        got = _run(c, total, {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got, (a + b + 1) % 2**WIDTH)
+
+    def test_ripple_sub_and_borrow(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        diff, borrow = library.ripple_sub(c, av, bv, style)
+        got = _run(c, diff + [borrow], {"a": a, "b": b}, WIDTH)
+        expected = ((a - b) % 2**WIDTH) + ((a < b).astype(np.int64) << WIDTH)
+        assert np.array_equal(got, expected)
+
+    def test_negate(self, style, vectors):
+        a, _ = vectors
+        c = Circuit()
+        (av,) = _operands(c, WIDTH, ("a",))
+        got = _run(c, library.negate(c, av, style), {"a": a}, WIDTH)
+        assert np.array_equal(got, (-a) % 2**WIDTH)
+
+    def test_full_adder_exhaustive(self, style):
+        for bits in range(8):
+            a, b, cin = (bits >> 0) & 1, (bits >> 1) & 1, (bits >> 2) & 1
+            c = Circuit()
+            total, carry = library.full_adder(
+                c, c.input("a"), c.input("b"), c.input("c"), style)
+            c.set_output("s", total)
+            c.set_output("co", carry)
+            out = c.evaluate({"a": np.array([bool(a)]),
+                              "b": np.array([bool(b)]),
+                              "c": np.array([bool(cin)])})
+            assert int(out["s"][0]) == (a + b + cin) % 2
+            assert int(out["co"][0]) == (a + b + cin) // 2
+
+
+@pytest.mark.parametrize("style", STYLES)
+class TestCompare:
+    def test_equal(self, style, vectors):
+        a, b = vectors
+        b = np.where(np.arange(N) % 3 == 0, a, b)  # force some equalities
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, [library.equal(c, av, bv, style)],
+                   {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got.astype(bool), a == b)
+
+    def test_greater_unsigned(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, [library.greater_unsigned(c, av, bv, style)],
+                   {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got.astype(bool), a > b)
+
+    def test_greater_signed(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, [library.greater_signed(c, av, bv, style)],
+                   {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got.astype(bool),
+                              to_signed(a, WIDTH) > to_signed(b, WIDTH))
+
+    def test_max_signed(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, library.maximum_signed(c, av, bv, style),
+                   {"a": a, "b": b}, WIDTH)
+        expected = np.maximum(to_signed(a, WIDTH), to_signed(b, WIDTH))
+        assert np.array_equal(to_signed(got, WIDTH), expected)
+
+    def test_min_signed(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, library.minimum_signed(c, av, bv, style),
+                   {"a": a, "b": b}, WIDTH)
+        expected = np.minimum(to_signed(a, WIDTH), to_signed(b, WIDTH))
+        assert np.array_equal(to_signed(got, WIDTH), expected)
+
+    def test_greater_equal_signed(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, [library.greater_equal_signed(c, av, bv, style)],
+                   {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got.astype(bool),
+                              to_signed(a, WIDTH) >= to_signed(b, WIDTH))
+
+
+@pytest.mark.parametrize("style", STYLES)
+class TestMulDiv:
+    def test_multiply_wraps(self, style, vectors):
+        a, b = vectors
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        got = _run(c, library.multiply(c, av, bv, style),
+                   {"a": a, "b": b}, WIDTH)
+        assert np.array_equal(got, (a * b) % 2**WIDTH)
+
+    def test_divide(self, style, vectors):
+        a, b = vectors
+        b = np.maximum(b, 1)
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        q, r = library.divide_unsigned(c, av, bv, style)
+        got = _run(c, q + r, {"a": a, "b": b}, WIDTH * 2)
+        mask = 2**WIDTH - 1
+        assert np.array_equal(got & mask, a // b)
+        assert np.array_equal(got >> WIDTH, a % b)
+
+    def test_divide_by_zero_contract(self, style):
+        a = np.array([77, 0, 255])
+        b = np.zeros(3, dtype=np.int64)
+        c = Circuit()
+        av, bv = _operands(c, WIDTH)
+        q, r = library.divide_unsigned(c, av, bv, style)
+        got = _run(c, q + r, {"a": a, "b": b}, WIDTH * 2)
+        mask = 2**WIDTH - 1
+        assert np.array_equal(got & mask, np.full(3, mask))  # quotient
+        assert np.array_equal(got >> WIDTH, a)               # remainder
+
+
+@pytest.mark.parametrize("style", STYLES)
+class TestUnaryOps:
+    def test_popcount(self, style, vectors):
+        a, _ = vectors
+        c = Circuit()
+        (av,) = _operands(c, WIDTH, ("a",))
+        out_bits = library.popcount(c, av, style)
+        assert len(out_bits) == 4
+        got = _run(c, out_bits, {"a": a}, WIDTH)
+        expected = np.array([bin(v).count("1") for v in a])
+        assert np.array_equal(got, expected)
+
+    def test_relu(self, style):
+        a = np.array([0, 1, 127, 128, 200, 255])
+        c = Circuit()
+        (av,) = _operands(c, WIDTH, ("a",))
+        got = _run(c, library.relu(c, av, style), {"a": a}, WIDTH)
+        expected = np.where(to_signed(a, WIDTH) > 0, a, 0)
+        assert np.array_equal(got, expected)
+
+    def test_absolute(self, style):
+        a = np.array([0, 5, 127, 129, 255, 128])
+        c = Circuit()
+        (av,) = _operands(c, WIDTH, ("a",))
+        got = _run(c, library.absolute(c, av, style), {"a": a}, WIDTH)
+        # abs(INT_MIN) wraps back to INT_MIN in two's complement.
+        expected = np.abs(to_signed(a, WIDTH)) % 2**WIDTH
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("kind,func", [
+        (GateType.AND, np.bitwise_and),
+        (GateType.OR, np.bitwise_or),
+        (GateType.XOR, np.bitwise_xor),
+    ])
+    def test_reductions(self, style, kind, func, vectors):
+        a, _ = vectors
+        c = Circuit()
+        (av,) = _operands(c, WIDTH, ("a",))
+        got = _run(c, [library.reduction(c, kind, av, style)],
+                   {"a": a}, WIDTH)
+        expected = a & 1
+        for i in range(1, WIDTH):
+            expected = func(expected, (a >> i) & 1)
+        assert np.array_equal(got, expected)
+
+    def test_reduction_bad_gate_rejected(self, style):
+        c = Circuit()
+        (av,) = _operands(c, 4, ("a",))
+        with pytest.raises(SynthesisError):
+            library.reduction(c, GateType.NAND, av, style)
+
+
+class TestValidation:
+    def test_mismatched_widths_rejected(self):
+        c = Circuit()
+        a = [c.input("a0")]
+        b = [c.input("b0"), c.input("b1")]
+        with pytest.raises(SynthesisError):
+            library.ripple_add(c, a, b)
+
+    def test_bad_style_rejected(self):
+        c = Circuit()
+        with pytest.raises(SynthesisError):
+            library.full_adder(c, c.input("a"), c.input("b"),
+                               c.input("c"), style="quantum")
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(SynthesisError):
+            library.ripple_add(Circuit(), [], [])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=10),
+       st.integers(min_value=0, max_value=1023),
+       st.integers(min_value=0, max_value=1023),
+       st.sampled_from(STYLES))
+def test_add_property_any_width(width, a, b, style):
+    """Addition circuits are correct at every width, both styles."""
+    a %= 2**width
+    b %= 2**width
+    c = Circuit()
+    av = [c.input(f"a{i}") for i in range(width)]
+    bv = [c.input(f"b{i}") for i in range(width)]
+    total, _ = library.ripple_add(c, av, bv, style=style)
+    got = _run(c, total, {"a": np.array([a]), "b": np.array([b])}, width)
+    assert got[0] == (a + b) % 2**width

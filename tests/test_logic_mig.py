@@ -1,0 +1,252 @@
+"""Unit and property tests for majority-inverter graphs (Step 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.logic import library
+from repro.logic.circuit import Circuit
+from repro.logic.mig import Mig, Ref
+from repro.logic.optimize import optimize, rebuild
+
+
+def eval1(mig, **inputs):
+    arrays = {k: np.array([bool(v)]) for k, v in inputs.items()}
+    return {k: bool(v[0]) for k, v in mig.evaluate(arrays).items()}
+
+
+class TestAxioms:
+    def test_maj_equal_pair_folds(self):
+        m = Mig()
+        a, b = m.input("a"), m.input("b")
+        assert m.maj(a, a, b) == a
+        assert m.maj(b, a, b) == b
+
+    def test_maj_complement_pair_folds(self):
+        m = Mig()
+        a, b = m.input("a"), m.input("b")
+        assert m.maj(a, ~a, b) == b
+
+    def test_constant_pair_folds(self):
+        m = Mig()
+        a = m.input("a")
+        assert m.maj(m.const0, m.const0, a) == m.const0
+        assert m.maj(m.const0, m.const1, a) == a
+        assert m.maj(m.const1, m.const1, a) == m.const1
+
+    def test_revote_folds(self):
+        m = Mig()
+        a, b, z = m.input("a"), m.input("b"), m.input("z")
+        inner = m.maj(a, b, z)
+        assert m.maj(a, b, inner) == inner
+
+    def test_negated_revote_rewrites(self):
+        m = Mig()
+        a, b, z = m.input("a"), m.input("b"), m.input("z")
+        inner = m.maj(a, b, z)
+        rewritten = m.maj(a, b, ~inner)
+        assert rewritten == m.maj(a, b, ~z)
+
+    def test_self_duality_canonicalization(self):
+        m = Mig()
+        a, b, c = m.input("a"), m.input("b"), m.input("c")
+        node = m.maj(~a, ~b, c)
+        # M(!a, !b, c) = !M(a, b, !c): stored node has <=1 negated child.
+        assert node.negated
+        children = m.children_of(node.node)
+        assert sum(ref.negated for ref in children) <= 1
+
+    def test_structural_hashing(self):
+        m = Mig()
+        a, b, c = m.input("a"), m.input("b"), m.input("c")
+        assert m.maj(a, b, c) == m.maj(c, b, a)
+
+
+class TestBooleanOps:
+    def test_and_or_semantics(self):
+        m = Mig()
+        a, b = m.input("a"), m.input("b")
+        m.set_output("and", m.and_(a, b))
+        m.set_output("or", m.or_(a, b))
+        for va in (0, 1):
+            for vb in (0, 1):
+                out = eval1(m, a=va, b=vb)
+                assert out["and"] == bool(va and vb)
+                assert out["or"] == bool(va or vb)
+
+    def test_xor_semantics(self):
+        m = Mig()
+        a, b = m.input("a"), m.input("b")
+        m.set_output("y", m.xor(a, b))
+        for va in (0, 1):
+            for vb in (0, 1):
+                assert eval1(m, a=va, b=vb)["y"] == bool(va ^ vb)
+
+    def test_mux_semantics(self):
+        m = Mig()
+        s, a, b = m.input("s"), m.input("a"), m.input("b")
+        m.set_output("y", m.mux(s, a, b))
+        for vs in (0, 1):
+            for va in (0, 1):
+                for vb in (0, 1):
+                    expected = bool(va if vs else vb)
+                    assert eval1(m, s=vs, a=va, b=vb)["y"] == expected
+
+    def test_ref_invert_involution(self):
+        ref = Ref(3, False)
+        assert ~~ref == ref
+
+
+class TestGraphMetrics:
+    def test_n_nodes_counts_only_live(self):
+        m = Mig()
+        a, b, c = m.input("a"), m.input("b"), m.input("c")
+        m.and_(a, b)  # dead node
+        m.set_output("y", m.or_(a, c))
+        assert m.n_nodes == 1
+
+    def test_depth(self):
+        m = Mig()
+        a, b, c, d = (m.input(n) for n in "abcd")
+        m.set_output("y", m.and_(m.and_(a, b), m.and_(c, d)))
+        assert m.depth() == 2
+
+    def test_complemented_edge_count(self):
+        m = Mig()
+        a, b = m.input("a"), m.input("b")
+        m.set_output("y", m.and_(~a, b))
+        assert m.n_complemented_edges() == 1
+
+    def test_duplicate_output_rejected(self):
+        m = Mig()
+        a = m.input("a")
+        m.set_output("y", a)
+        with pytest.raises(SynthesisError):
+            m.set_output("y", a)
+
+    def test_unknown_node_rejected(self):
+        m = Mig()
+        with pytest.raises(SynthesisError):
+            m.maj(Ref(99), m.const0, m.const1)
+
+
+class TestFromCircuit:
+    @pytest.mark.parametrize("style", ("maj", "classic"))
+    def test_adder_equivalence(self, style):
+        width = 6
+        c = Circuit()
+        av = [c.input(f"a{i}") for i in range(width)]
+        bv = [c.input(f"b{i}") for i in range(width)]
+        total, _ = library.ripple_add(c, av, bv, style=style)
+        for i, net in enumerate(total):
+            c.set_output(f"y{i}", net)
+        m = Mig.from_circuit(c)
+
+        rng = np.random.default_rng(0)
+        from repro.util.bitops import bits_to_ints, ints_to_bits
+        a = rng.integers(0, 2**width, 50)
+        b = rng.integers(0, 2**width, 50)
+        abits, bbits = ints_to_bits(a, width), ints_to_bits(b, width)
+        inputs = {f"a{i}": abits[i] for i in range(width)}
+        inputs |= {f"b{i}": bbits[i] for i in range(width)}
+        assert np.array_equal(
+            bits_to_ints(np.stack([m.evaluate(inputs)[f"y{i}"]
+                                   for i in range(width)])),
+            (a + b) % 2**width)
+
+    def test_maj_style_much_smaller_than_classic(self):
+        sizes = {}
+        for style in ("maj", "classic"):
+            c = Circuit()
+            av = [c.input(f"a{i}") for i in range(8)]
+            bv = [c.input(f"b{i}") for i in range(8)]
+            total, _ = library.ripple_add(c, av, bv, style=style)
+            for i, net in enumerate(total):
+                c.set_output(f"y{i}", net)
+            sizes[style] = Mig.from_circuit(c).n_nodes
+        # The MAJ-native form needs ~half the TRAs (3/FA vs 6+/FA).
+        assert sizes["maj"] * 2 <= sizes["classic"]
+
+    def test_every_gate_kind_convertible(self):
+        c = Circuit()
+        a, b, s = c.input("a"), c.input("b"), c.input("s")
+        nets = {
+            "and": c.and_(a, b), "or": c.or_(a, b), "xor": c.xor(a, b),
+            "xnor": c.xnor(a, b), "nand": c.nand(a, b), "nor": c.nor(a, b),
+            "not": c.not_(a), "maj": c.maj(a, b, s),
+            "mux": c.mux(s, a, b), "const": c.const(True),
+        }
+        for name, net in nets.items():
+            c.set_output(name, net)
+        m = Mig.from_circuit(c)
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vs in (0, 1):
+                    got = eval1(m, a=va, b=vb, s=vs)
+                    expect = c.evaluate({"a": np.array([bool(va)]),
+                                         "b": np.array([bool(vb)]),
+                                         "s": np.array([bool(vs)])})
+                    for name in nets:
+                        assert got[name] == bool(expect[name][0]), name
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence: random MIG expressions keep their function
+# through construction simplifications
+# ---------------------------------------------------------------------------
+@st.composite
+def mig_expression(draw, n_inputs=4, max_nodes=12):
+    """Random sequence of maj operations as (i, j, k, negations) picks."""
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30),
+                  st.integers(0, 30), st.integers(0, 7)),
+        min_size=1, max_size=max_nodes))
+    return ops
+
+
+@settings(max_examples=80, deadline=None)
+@given(mig_expression())
+def test_construction_rules_preserve_function(ops):
+    """Every constructed node's truth table must equal the exact majority
+    of its chosen operands' truth tables, no matter which simplification
+    rule fired.  Truth tables are tracked independently as bitmasks over
+    all 2^4 input assignments."""
+    n_inputs = 4
+    n_assignments = 1 << n_inputs
+    full = (1 << n_assignments) - 1
+
+    m = Mig()
+    pool: list[Ref] = [m.const0, m.const1]
+    tables: list[int] = [0, full]
+    for i in range(n_inputs):
+        pool.append(m.input(f"x{i}"))
+        table = 0
+        for assignment in range(n_assignments):
+            if (assignment >> i) & 1:
+                table |= 1 << assignment
+        tables.append(table)
+
+    for i, j, k, negs in ops:
+        picks = []
+        pick_tables = []
+        for index, neg_bit in ((i, 1), (j, 2), (k, 4)):
+            ref = pool[index % len(pool)]
+            table = tables[index % len(pool)]
+            if negs & neg_bit:
+                ref = ~ref
+                table ^= full
+            picks.append(ref)
+            pick_tables.append(table)
+        ta, tb, tc = pick_tables
+        expected = (ta & tb) | (tb & tc) | (ta & tc)
+        pool.append(m.maj(*picks))
+        tables.append(expected)
+
+    m.set_output("y", pool[-1])
+    expected_table = tables[-1]
+    for assignment in range(n_assignments):
+        values = {f"x{i}": np.array([bool((assignment >> i) & 1)])
+                  for i in range(n_inputs)}
+        got = bool(m.evaluate(values)["y"][0])
+        assert got == bool((expected_table >> assignment) & 1)

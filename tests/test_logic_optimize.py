@@ -1,0 +1,125 @@
+"""Tests for the MIG optimizer (Step 1 logic minimization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operations import PAPER_OPERATIONS, get_operation
+from repro.logic import library
+from repro.logic.circuit import Circuit
+from repro.logic.mig import Mig
+from repro.logic.optimize import optimize, rebuild
+from repro.util.bitops import bits_to_ints, ints_to_bits
+
+
+def _adder_mig(width=6, style="maj"):
+    c = Circuit()
+    av = [c.input(f"a{i}") for i in range(width)]
+    bv = [c.input(f"b{i}") for i in range(width)]
+    total, _ = library.ripple_add(c, av, bv, style=style)
+    for i, net in enumerate(total):
+        c.set_output(f"y{i}", net)
+    return Mig.from_circuit(c), width
+
+
+class TestRebuild:
+    def test_preserves_interface(self):
+        mig, _ = _adder_mig()
+        out = rebuild(mig)
+        assert out.input_names == mig.input_names
+        assert [name for name, _ in out.outputs] == [
+            name for name, _ in mig.outputs]
+
+    def test_never_increases_nodes(self):
+        for style in ("maj", "classic"):
+            mig, _ = _adder_mig(style=style)
+            assert rebuild(mig).n_nodes <= mig.n_nodes
+
+    def test_removes_dead_nodes(self):
+        m = Mig()
+        a, b, c = m.input("a"), m.input("b"), m.input("c")
+        m.and_(a, b)  # dead
+        m.set_output("y", m.or_(a, c))
+        assert rebuild(m).n_nodes == 1
+
+    def test_constant_output_preserved(self):
+        m = Mig()
+        a = m.input("a")
+        m.set_output("y", m.and_(a, ~a))  # constant 0
+        out = rebuild(m)
+        assert bool(out.evaluate({"a": np.array([True])})["y"][0]) is False
+
+    def test_passthrough_output_preserved(self):
+        m = Mig()
+        a = m.input("a")
+        m.set_output("y", ~a)
+        out = rebuild(m)
+        assert bool(out.evaluate({"a": np.array([True])})["y"][0]) is False
+
+
+class TestOptimize:
+    def test_reaches_fixpoint(self):
+        mig, _ = _adder_mig()
+        optimized, stats = optimize(mig)
+        again, stats2 = optimize(optimized)
+        assert again.n_nodes == optimized.n_nodes
+        assert stats.nodes_after <= stats.nodes_before
+
+    def test_stats_fields_consistent(self):
+        mig, _ = _adder_mig()
+        optimized, stats = optimize(mig)
+        assert stats.nodes_before == mig.n_nodes
+        assert stats.nodes_after == optimized.n_nodes
+        assert 0 <= stats.node_reduction <= 1
+        assert stats.passes >= 1
+
+    def test_equivalence_after_optimization(self):
+        mig, width = _adder_mig()
+        optimized, _ = optimize(mig)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2**width, 64)
+        b = rng.integers(0, 2**width, 64)
+        abits, bbits = ints_to_bits(a, width), ints_to_bits(b, width)
+        inputs = {f"a{i}": abits[i] for i in range(width)}
+        inputs |= {f"b{i}": bbits[i] for i in range(width)}
+        got = bits_to_ints(np.stack(
+            [optimized.evaluate(inputs)[f"y{i}"] for i in range(width)]))
+        assert np.array_equal(got, (a + b) % 2**width)
+
+    @pytest.mark.parametrize("op_name", PAPER_OPERATIONS)
+    def test_equivalence_for_every_catalog_operation(self, op_name):
+        """Optimizing any catalog operation's MIG keeps it bit-exact."""
+        width = 4
+        spec = get_operation(op_name)
+        circuit = spec.build_circuit(width, "maj")
+        mig = Mig.from_circuit(circuit)
+        optimized, _ = optimize(mig)
+
+        rng = np.random.default_rng(1)
+        n = 48
+        inputs = {}
+        raw = []
+        for prefix, in_width in zip(spec.operand_names(),
+                                    spec.in_widths(width)):
+            values = rng.integers(0, 2**in_width, n)
+            if op_name == "div" and prefix == "b":
+                values = np.maximum(values, 1)
+            raw.append(values)
+            bits = ints_to_bits(values, in_width)
+            inputs.update({f"{prefix}{i}": bits[i]
+                           for i in range(in_width)})
+        out_width = spec.out_width(width)
+        got = bits_to_ints(np.stack(
+            [optimized.evaluate(inputs)[f"y{i}"]
+             for i in range(out_width)]))
+        assert np.array_equal(got, spec.golden(raw, width)), op_name
+
+    def test_xor_chain_shrinks(self):
+        # XOR-heavy logic benefits most from rebuilding + hashing.
+        m = Mig()
+        x = m.input("x0")
+        for i in range(1, 8):
+            x = m.xor(x, m.input(f"x{i}"))
+        m.set_output("y", x)
+        optimized, stats = optimize(m)
+        assert optimized.n_nodes <= m.n_nodes

@@ -1,0 +1,117 @@
+"""Tests for the throughput/energy/area evaluation models."""
+
+import pytest
+
+from repro.core.compiler import compile_cached
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigError
+from repro.perf.area import area_report
+from repro.perf.model import (
+    PimSystemModel,
+    measure_all_platforms,
+    measure_host,
+)
+from repro.perf.opmodel import host_profile
+from repro.perf.platforms import HostPlatform, cpu_skylake, gpu_volta
+
+
+class TestHostPlatforms:
+    def test_gpu_faster_than_cpu(self):
+        cpu = measure_host(cpu_skylake(), "add", 32)
+        gpu = measure_host(gpu_volta(), "add", 32)
+        assert gpu.throughput_gops > cpu.throughput_gops
+
+    def test_memory_bound_for_bulk_ops(self):
+        cpu = cpu_skylake()
+        profile = host_profile("add", 32)
+        expected = cpu.sustained_bw_bytes_per_ns / profile.bytes_per_element
+        assert cpu.throughput_gops(
+            profile.bytes_per_element,
+            profile.ops_per_element) == pytest.approx(expected)
+
+    def test_compute_bound_when_ops_dominate(self):
+        cpu = cpu_skylake()
+        # Absurdly expensive op: compute ceiling must bind.
+        assert cpu.throughput_gops(1.0, 1e6) == pytest.approx(
+            cpu.peak_ops_per_ns / 1e6)
+
+    def test_div_slower_than_add_on_host(self):
+        cpu_add = measure_host(cpu_skylake(), "add", 8)
+        cpu_div = measure_host(cpu_skylake(), "div", 8)
+        assert cpu_div.energy_nj_per_element > cpu_add.energy_nj_per_element
+
+    def test_profile_bytes(self):
+        assert host_profile("add", 32).bytes_per_element == 12
+        assert host_profile("eq", 8).bytes_per_element == 3  # 2 in + 1 out
+        assert host_profile("if_else", 8).bytes_per_element == 4
+
+    def test_invalid_platform_rejected(self):
+        with pytest.raises(ConfigError):
+            HostPlatform(name="bad", peak_bw_gbps=10,
+                         sustained_bw_fraction=0.0, n_cores=1,
+                         simd_lanes_per_core=1, freq_ghz=1,
+                         dram_pj_per_bit=1, core_pj_per_op=1)
+
+
+class TestPimModel:
+    def test_throughput_scales_linearly_with_banks(self):
+        system = PimSystemModel.paper()
+        program = compile_cached("add", 32)
+        one = system.measure(program, n_banks=1)
+        sixteen = system.measure(program, n_banks=16)
+        assert sixteen.throughput_gops == pytest.approx(
+            16 * one.throughput_gops)
+        # Per-element energy is bank-count invariant.
+        assert sixteen.energy_nj_per_element == pytest.approx(
+            one.energy_nj_per_element)
+
+    def test_simdram_beats_ambit_throughput(self):
+        system = PimSystemModel.paper()
+        simdram = system.measure(compile_cached("add", 32, "simdram"), 1)
+        ambit = system.measure(compile_cached("add", 32, "ambit"), 1)
+        ratio = simdram.throughput_gops / ambit.throughput_gops
+        assert 1.5 < ratio < 5.1  # the paper's reported band
+
+    def test_platform_labels(self):
+        system = PimSystemModel.paper()
+        assert system.measure(
+            compile_cached("add", 8, "simdram"), 4).platform == "SIMDRAM:4"
+        assert system.measure(
+            compile_cached("add", 8, "ambit"), 1).platform == "Ambit:1"
+
+    def test_bad_bank_count_rejected(self):
+        system = PimSystemModel.paper()
+        with pytest.raises(ConfigError):
+            system.measure(compile_cached("add", 8), 0)
+
+    def test_measure_all_platforms_composition(self):
+        results = measure_all_platforms("add", 8)
+        names = [m.platform for m in results]
+        assert names == ["CPU", "GPU", "Ambit:1", "SIMDRAM:1",
+                         "SIMDRAM:4", "SIMDRAM:16"]
+
+    def test_simdram_more_energy_efficient_than_hosts(self):
+        """The headline energy claim holds for a cheap wide op."""
+        results = {m.platform: m for m in measure_all_platforms("add", 8)}
+        assert results["SIMDRAM:16"].energy_nj_per_element < \
+            results["CPU"].energy_nj_per_element
+        assert results["SIMDRAM:16"].energy_nj_per_element < \
+            results["GPU"].energy_nj_per_element
+
+
+class TestArea:
+    def test_dram_overhead_below_one_percent(self):
+        report = area_report()
+        assert report.dram_total_percent < 1.0
+
+    def test_controller_units_tiny(self):
+        report = area_report()
+        assert report.controller_percent_of_cpu < 0.1
+        assert report.controller_total_mm2 == pytest.approx(
+            report.control_unit_mm2 + report.transposition_unit_mm2)
+
+    def test_smaller_subarrays_cost_more(self):
+        small_rows = area_report(DramGeometry(data_rows=502))
+        large_rows = area_report(DramGeometry(data_rows=1014))
+        assert small_rows.dram_total_percent > \
+            large_rows.dram_total_percent

@@ -1,0 +1,112 @@
+"""Property-based end-to-end tests: arbitrary vectors through arbitrary
+operations must match the golden model on the bit-accurate simulator.
+
+One shared Simdram instance (module-scoped state) keeps hypothesis
+examples fast; arrays are freed after every example so the allocator
+cannot run out of rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.framework import Simdram, SimdramConfig
+from repro.core.operations import get_operation
+from repro.dram.geometry import DramGeometry
+from repro.util.bitops import to_signed, to_unsigned
+
+WIDTH = 6
+LANES = 16
+
+_sim = Simdram(SimdramConfig(
+    geometry=DramGeometry.sim_small(cols=LANES, data_rows=760, banks=1)),
+    seed=99)
+
+vectors = st.lists(st.integers(min_value=0, max_value=2**WIDTH - 1),
+                   min_size=1, max_size=LANES)
+
+
+def _run(op_name, raw_operands):
+    spec = get_operation(op_name)
+    arrays = [_sim.array(np.array(values), width)
+              for values, width in zip(raw_operands, spec.in_widths(WIDTH))]
+    out = _sim.run(op_name, *arrays)
+    got = out.to_numpy()
+    for array in arrays:
+        array.free()
+    out.free()
+    expected = spec.golden(
+        [to_unsigned(np.array(v), w)
+         for v, w in zip(raw_operands, spec.in_widths(WIDTH))], WIDTH)
+    if spec.signed:
+        expected = to_signed(expected, spec.out_width(WIDTH))
+    return got, expected
+
+
+common = settings(max_examples=25, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(vectors, vectors)
+def test_add_property(a, b):
+    n = min(len(a), len(b))
+    got, expected = _run("add", [a[:n], b[:n]])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(vectors, vectors)
+def test_sub_property(a, b):
+    n = min(len(a), len(b))
+    got, expected = _run("sub", [a[:n], b[:n]])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(vectors, vectors)
+def test_mul_property(a, b):
+    n = min(len(a), len(b))
+    got, expected = _run("mul", [a[:n], b[:n]])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(vectors, vectors)
+def test_gt_property(a, b):
+    n = min(len(a), len(b))
+    got, expected = _run("gt", [a[:n], b[:n]])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(vectors, vectors)
+def test_div_property(a, b):
+    n = min(len(a), len(b))
+    b = [max(1, v) for v in b[:n]]
+    got, expected = _run("div", [a[:n], b])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(vectors)
+def test_bitcount_property(a):
+    got, expected = _run("bitcount", [a])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(vectors)
+def test_abs_property(a):
+    got, expected = _run("abs", [a])
+    assert np.array_equal(got, expected)
+
+
+@common
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=LANES),
+       vectors, vectors)
+def test_if_else_property(sel, a, b):
+    n = min(len(sel), len(a), len(b))
+    got, expected = _run("if_else", [sel[:n], a[:n], b[:n]])
+    assert np.array_equal(got, expected)

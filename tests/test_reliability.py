@@ -1,0 +1,103 @@
+"""Tests for the process-variation reliability study."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_cached
+from repro.errors import ConfigError
+from repro.reliability.charge_sharing import (
+    TraAnalogModel,
+    operation_failure_probability,
+)
+from repro.reliability.variation import (
+    TECHNOLOGY_NODES,
+    count_tras,
+    sweep_technology,
+    sweep_variation,
+)
+
+
+class TestChargeSharing:
+    def test_deviation_sign_follows_majority(self):
+        model = TraAnalogModel()
+        caps = np.full((2, 3), model.cell_cap_ff)
+        bits = np.array([[True, True, False], [False, False, True]])
+        deviation = model.deviation_mv(bits, caps)
+        assert deviation[0] > 0  # majority 1 pulls the bitline up
+        assert deviation[1] < 0
+
+    def test_deviation_magnitude_reasonable(self):
+        model = TraAnalogModel()
+        caps = np.full((1, 3), model.cell_cap_ff)
+        bits = np.array([[True, True, False]])
+        # ~ (VDD/2) * C / (Cbl + 3C) = 600mV * 22/143 = ~92mV.
+        assert 60 < model.deviation_mv(bits, caps)[0] < 120
+
+    def test_no_variation_no_failures(self):
+        model = TraAnalogModel(sense_offset_mv=0.0)
+        assert model.failure_probability(0.0, n_trials=10_000) == 0.0
+
+    def test_failure_rate_monotonic_in_variation(self):
+        model = TraAnalogModel()
+        rng = np.random.default_rng(0)
+        rates = [model.failure_probability(sigma, n_trials=100_000,
+                                           rng=rng)
+                 for sigma in (0.05, 0.15, 0.25, 0.35)]
+        assert rates == sorted(rates)
+        assert rates[0] < 1e-4      # reliable at realistic variation
+        assert rates[-1] > 1e-3     # fails under extreme variation
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            TraAnalogModel().failure_probability(-0.1)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ConfigError):
+            TraAnalogModel(cell_cap_ff=0.0)
+
+
+class TestOperationFailure:
+    def test_compounds_over_tras(self):
+        assert operation_failure_probability(0.0, 100) == 0.0
+        single = operation_failure_probability(1e-3, 1)
+        many = operation_failure_probability(1e-3, 100)
+        assert single == pytest.approx(1e-3)
+        assert many > 50 * single * 0.9
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            operation_failure_probability(1.5, 1)
+        with pytest.raises(ConfigError):
+            operation_failure_probability(0.5, -1)
+
+
+class TestSweeps:
+    def test_count_tras_counts_fused_forms(self):
+        program = compile_cached("add", 8)
+        n = count_tras(program)
+        # Every MAJ node becomes exactly one TRA (AP or fused AAP).
+        assert n >= 3 * 8  # 3 TRAs per full adder
+
+    def test_variation_sweep_shape(self):
+        points = sweep_variation(n_trials=20_000,
+                                 sigmas=(0.0, 0.1, 0.3))
+        assert [p.sigma_fraction for p in points] == [0.0, 0.1, 0.3]
+        assert points[0].p_tra <= points[-1].p_tra
+
+    def test_technology_sweep_correct_at_all_nodes(self):
+        """The paper's conclusion: correct operation as nodes shrink."""
+        program = compile_cached("add", 16)
+        points = sweep_technology(program, n_trials=50_000)
+        assert [p.node_nm for p in points] == sorted(
+            TECHNOLOGY_NODES, reverse=True)
+        for point in points:
+            assert point.p_operation < 0.01, (
+                f"{point.node_nm} nm unexpectedly unreliable")
+
+    def test_technology_nodes_monotone_scaling(self):
+        scales = [TECHNOLOGY_NODES[nm][0]
+                  for nm in sorted(TECHNOLOGY_NODES, reverse=True)]
+        sigmas = [TECHNOLOGY_NODES[nm][1]
+                  for nm in sorted(TECHNOLOGY_NODES, reverse=True)]
+        assert scales == sorted(scales, reverse=True)
+        assert sigmas == sorted(sigmas)

@@ -1,0 +1,120 @@
+"""Tests for in-DRAM bulk copy/initialization (RowClone) and TRA fault
+injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Simdram, SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.dram.rows import b_row, data_row
+from repro.dram.subarray import Subarray
+from repro.errors import CommandError, OperationError
+
+
+class TestRowCloneCopy:
+    def test_copy_matches_source(self, sim):
+        values = np.arange(50) * 3 % 256
+        source = sim.array(values, 8)
+        clone = sim.copy(source)
+        assert np.array_equal(clone.to_numpy(), values)
+
+    def test_copy_moves_no_host_bits(self, sim):
+        source = sim.array(np.arange(30), 8)
+        host_bits_before = sum(
+            bank.stats.host_bits_read + bank.stats.host_bits_written
+            for bank in sim.module.banks)
+        sim.copy(source)
+        host_bits_after = sum(
+            bank.stats.host_bits_read + bank.stats.host_bits_written
+            for bank in sim.module.banks)
+        assert host_bits_after == host_bits_before
+
+    def test_copy_is_one_aap_per_row_per_bank(self, sim):
+        source = sim.array(np.arange(10), 8)
+        aap_before = sim.module.total_stats().n_aap
+        sim.copy(source)
+        aap_after = sim.module.total_stats().n_aap
+        assert aap_after - aap_before == 8 * sim.config.geometry.banks
+
+    def test_copy_of_freed_array_rejected(self, sim):
+        source = sim.array(np.arange(5), 8)
+        source.free()
+        with pytest.raises(OperationError):
+            sim.copy(source)
+
+    def test_copy_preserves_signedness(self, sim):
+        source = sim.array([-3, 4], 8, signed=True)
+        assert list(sim.copy(source).to_numpy()) == [-3, 4]
+
+
+class TestRowCloneFill:
+    @pytest.mark.parametrize("value", (0, 1, 0x55, 0xFF))
+    def test_fill_broadcasts_constant(self, sim, value):
+        filled = sim.fill(value, n_elements=40, width=8)
+        assert np.array_equal(filled.to_numpy(), np.full(40, value))
+        filled.free()
+
+    def test_fill_negative_signed(self, sim):
+        filled = sim.fill(-1, n_elements=10, width=8, signed=True)
+        assert list(filled.to_numpy()) == [-1] * 10
+        filled.free()
+
+    def test_filled_array_usable_as_operand(self, sim):
+        a = sim.array(np.arange(20), 8)
+        b = sim.fill(5, 20, 8)
+        out = sim.run("add", a, b)
+        assert np.array_equal(out.to_numpy(), np.arange(20) + 5)
+
+
+class TestFaultInjection:
+    def _loaded_subarray(self, fault_rate):
+        geometry = DramGeometry.sim_small(cols=4096, data_rows=8)
+        sa = Subarray(geometry, tra_fault_rate=fault_rate,
+                      fault_rng=np.random.default_rng(7))
+        rng = np.random.default_rng(1)
+        for i in range(3):
+            sa.poke(b_row(i), rng.integers(0, 2, 4096).astype(bool))
+        return sa
+
+    def test_zero_rate_is_ideal(self):
+        sa = self._loaded_subarray(0.0)
+        sa.ap(b_row(12))
+        assert sa.faults_injected == 0
+
+    def test_faults_flip_results(self):
+        ideal = self._loaded_subarray(0.0)
+        faulty = self._loaded_subarray(0.01)
+        ideal.ap(b_row(12))
+        faulty.ap(b_row(12))
+        assert faulty.faults_injected > 0
+        mismatches = int(
+            (ideal.peek(b_row(0)) != faulty.peek(b_row(0))).sum())
+        assert mismatches == faulty.faults_injected
+
+    def test_fault_rate_scales_flip_count(self):
+        low = self._loaded_subarray(0.01)
+        high = self._loaded_subarray(0.2)
+        for _ in range(5):
+            low.ap(b_row(12))
+            high.ap(b_row(12))
+        assert high.faults_injected > low.faults_injected
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(CommandError):
+            Subarray(DramGeometry.sim_small(), tra_fault_rate=1.5)
+
+    def test_faulty_device_corrupts_operations(self):
+        """End to end: a device failing at 5% per TRA per lane cannot
+        compute a correct 8-bit addition (the reliability study's point)."""
+        config = SimdramConfig(
+            geometry=DramGeometry.sim_small(cols=64, data_rows=512,
+                                            banks=1))
+        sim = Simdram(config, seed=2)
+        for bank in sim.module.banks:
+            bank.subarray.tra_fault_rate = 0.05
+            bank.subarray._fault_rng = np.random.default_rng(3)
+        a = sim.array(np.arange(64), 8)
+        b = sim.array(np.arange(64), 8)
+        out = sim.run("add", a, b)
+        expected = (np.arange(64) * 2) % 256
+        assert not np.array_equal(out.to_numpy(), expected)

@@ -1,0 +1,58 @@
+"""Tests for in-DRAM bit shifts (paper §2: shifts are row copies)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperationError
+
+
+@pytest.fixture
+def values():
+    return np.arange(1, 41, dtype=np.int64) * 5 % 256
+
+
+class TestShiftLeft:
+    @pytest.mark.parametrize("amount", (0, 1, 3, 7))
+    def test_matches_numpy(self, sim, values, amount):
+        array = sim.array(values, 8)
+        shifted = sim.shift_left(array, amount)
+        assert np.array_equal(shifted.to_numpy(),
+                              (values << amount) & 0xFF)
+        array.free()
+        shifted.free()
+
+    def test_shift_beyond_width_gives_zero(self, sim, values):
+        array = sim.array(values, 8)
+        shifted = sim.shift_left(array, 8)
+        assert not shifted.to_numpy().any()
+
+    def test_shift_is_pure_row_copies(self, sim, values):
+        """A shift issues exactly one AAP per bit row and zero APs."""
+        array = sim.array(values, 8)
+        before = sim.module.total_stats()
+        sim.shift_left(array, 2)
+        after = sim.module.total_stats()
+        banks = sim.config.geometry.banks
+        assert after.n_aap - before.n_aap == 8 * banks
+        assert after.n_ap == before.n_ap
+
+
+class TestShiftRight:
+    @pytest.mark.parametrize("amount", (0, 1, 4))
+    def test_matches_numpy(self, sim, values, amount):
+        array = sim.array(values, 8)
+        shifted = sim.shift_right(array, amount)
+        assert np.array_equal(shifted.to_numpy(), values >> amount)
+
+    def test_negative_amount_rejected(self, sim, values):
+        array = sim.array(values, 8)
+        with pytest.raises(OperationError):
+            sim.shift_right(array, -1)
+
+    def test_shift_composes_with_operations(self, sim, values):
+        """(a >> 1) + a works: shifted outputs are normal operands."""
+        array = sim.array(values, 8)
+        halved = sim.shift_right(array, 1)
+        total = sim.run("add", halved, array)
+        assert np.array_equal(total.to_numpy(),
+                              ((values >> 1) + values) % 256)

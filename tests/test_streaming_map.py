@@ -1,0 +1,85 @@
+"""Tests for the streaming executor (vectors larger than the module)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperationError
+
+
+class TestMap:
+    def test_exceeds_lane_count(self, sim):
+        n = sim.module.lanes * 3 + 17  # forces four batches
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, n)
+        b = rng.integers(0, 256, n)
+        got = sim.map("add", a, b, width=8)
+        assert np.array_equal(got, (a + b) % 256)
+
+    def test_single_batch(self, sim):
+        a = np.array([1, 2, 3])
+        b = np.array([4, 5, 6])
+        assert np.array_equal(sim.map("add", a, b, width=8),
+                              [5, 7, 9])
+
+    def test_unary_operation(self, sim):
+        n = sim.module.lanes + 5
+        a = np.random.default_rng(1).integers(0, 256, n)
+        got = sim.map("bitcount", a, width=8)
+        expected = np.array([bin(v).count("1") for v in a])
+        assert np.array_equal(got, expected)
+
+    def test_ternary_with_fixed_width_select(self, sim):
+        n = sim.module.lanes * 2
+        rng = np.random.default_rng(2)
+        sel = rng.integers(0, 2, n)
+        a = rng.integers(0, 256, n)
+        b = rng.integers(0, 256, n)
+        got = sim.map("if_else", sel, a, b, width=8)
+        assert np.array_equal(got, np.where(sel, a, b))
+
+    def test_rows_released_after_map(self, sim):
+        before = sim._allocator.free_rows()
+        n = sim.module.lanes * 2
+        sim.map("add", np.zeros(n, dtype=int), np.ones(n, dtype=int),
+                width=8)
+        assert sim._allocator.free_rows() == before
+
+    def test_wrong_arity_rejected(self, sim):
+        with pytest.raises(OperationError):
+            sim.map("add", np.array([1]))
+
+    def test_length_mismatch_rejected(self, sim):
+        with pytest.raises(OperationError):
+            sim.map("add", np.array([1, 2]), np.array([1]))
+
+    def test_empty_rejected(self, sim):
+        with pytest.raises(OperationError):
+            sim.map("add", np.array([]), np.array([]))
+
+    def test_ambit_backend(self, sim):
+        a = np.array([10, 20])
+        b = np.array([1, 2])
+        got = sim.map("sub", a, b, width=8, backend="ambit")
+        assert np.array_equal(got, [9, 18])
+
+
+class TestDdr3Variant:
+    def test_ddr3_slower_than_ddr4(self):
+        from repro.dram.timing import DramTiming
+        ddr3 = DramTiming.ddr3_1600()
+        ddr4 = DramTiming.ddr4_2400()
+        assert ddr3.aap_ns > ddr4.aap_ns
+        assert ddr3.channel_gbps < ddr4.channel_gbps
+
+    def test_timing_sensitivity_on_throughput(self):
+        from repro.core.compiler import compile_cached
+        from repro.dram.energy import DramEnergy
+        from repro.dram.geometry import DramGeometry
+        from repro.dram.timing import DramTiming
+        from repro.perf.model import PimSystemModel
+        program = compile_cached("add", 16)
+        ddr4 = PimSystemModel.paper().measure(program, 1)
+        ddr3 = PimSystemModel(
+            DramGeometry.paper(), DramTiming.ddr3_1600(),
+            DramEnergy.ddr4()).measure(program, 1)
+        assert ddr4.throughput_gops > ddr3.throughput_gops

@@ -1,0 +1,121 @@
+"""Unit tests for µOps and the µProgram container."""
+
+import pytest
+
+from repro.dram.energy import DramEnergy
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTiming
+from repro.errors import SchedulingError
+from repro.uprog.program import MicroProgram, OperandSpec
+from repro.uprog.uops import Space, UAap, UAp, URow
+
+
+class TestURow:
+    def test_str(self):
+        assert str(URow(Space.INPUT0, 3)) == "in0[3]"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(SchedulingError):
+            URow(Space.TEMP, -1)
+
+    def test_ctrl_index_bounds(self):
+        URow(Space.CTRL, 1)
+        with pytest.raises(SchedulingError):
+            URow(Space.CTRL, 2)
+
+    def test_bgroup_index_bounds(self):
+        URow(Space.BGROUP, 15)
+        with pytest.raises(SchedulingError):
+            URow(Space.BGROUP, 16)
+
+    def test_wordline_counts(self):
+        assert URow(Space.BGROUP, 12).n_wordlines == 3
+        assert URow(Space.BGROUP, 10).n_wordlines == 2
+        assert URow(Space.BGROUP, 0).n_wordlines == 1
+        assert URow(Space.INPUT1, 5).n_wordlines == 1
+
+    def test_is_input(self):
+        assert Space.INPUT0.is_input
+        assert Space.INPUT2.is_input
+        assert not Space.OUTPUT.is_input
+
+
+class TestUAp:
+    def test_requires_triple(self):
+        UAp(URow(Space.BGROUP, 14))
+        with pytest.raises(SchedulingError):
+            UAp(URow(Space.BGROUP, 0))
+        with pytest.raises(SchedulingError):
+            UAp(URow(Space.TEMP, 0))
+
+
+def _program():
+    uops = [
+        UAap(URow(Space.INPUT0, 0), URow(Space.BGROUP, 0)),
+        UAap(URow(Space.INPUT1, 0), URow(Space.BGROUP, 1)),
+        UAap(URow(Space.CTRL, 0), URow(Space.BGROUP, 2)),
+        UAp(URow(Space.BGROUP, 12)),
+        UAap(URow(Space.BGROUP, 0), URow(Space.OUTPUT, 0)),
+    ]
+    return MicroProgram(
+        op_name="and1", backend="simdram", element_width=1,
+        inputs=[OperandSpec(Space.INPUT0, 1), OperandSpec(Space.INPUT1, 1)],
+        output=OperandSpec(Space.OUTPUT, 1), uops=uops, n_temp_rows=0)
+
+
+class TestMicroProgram:
+    def test_counts(self):
+        program = _program()
+        assert program.n_aap == 4
+        assert program.n_ap == 1
+        assert program.n_commands == 5
+
+    def test_stats_wordlines(self):
+        stats = _program().stats()
+        assert stats.n_ap == 1
+        assert stats.ap_wordlines == 3
+
+    def test_latency_matches_timing(self):
+        timing = DramTiming.ddr4_2400()
+        program = _program()
+        assert program.latency_ns(timing) == pytest.approx(
+            4 * timing.aap_ns + timing.ap_ns)
+
+    def test_energy_positive(self):
+        program = _program()
+        energy = program.energy_nj(DramTiming.ddr4_2400(),
+                                   DramGeometry.paper(), DramEnergy.ddr4())
+        assert energy > 0
+
+    def test_rows_touched(self):
+        assert _program().rows_touched() == 3
+
+    def test_serialization_roundtrip(self):
+        program = _program()
+        clone = MicroProgram.from_dict(program.to_dict())
+        assert clone.uops == program.uops
+        assert clone.op_name == program.op_name
+        assert clone.inputs == program.inputs
+        assert clone.output == program.output
+
+    def test_listing_truncates(self):
+        text = _program().listing(max_ops=2)
+        assert "3 more" in text
+        assert "and1" in text
+
+    def test_output_space_enforced(self):
+        with pytest.raises(SchedulingError):
+            MicroProgram(op_name="bad", backend="simdram", element_width=1,
+                         inputs=[], output=OperandSpec(Space.TEMP, 1))
+
+    def test_duplicate_input_space_rejected(self):
+        with pytest.raises(SchedulingError):
+            MicroProgram(
+                op_name="bad", backend="simdram", element_width=1,
+                inputs=[OperandSpec(Space.INPUT0, 1),
+                        OperandSpec(Space.INPUT0, 1)],
+                output=OperandSpec(Space.OUTPUT, 1))
+
+    def test_operand_width_validated(self):
+        with pytest.raises(SchedulingError):
+            OperandSpec(Space.INPUT0, 0)

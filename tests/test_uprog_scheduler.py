@@ -1,0 +1,267 @@
+"""Tests for the Step-2 scheduler: MIG -> AAP/AP command streams.
+
+Every scheduled program is validated by executing it on the bit-accurate
+subarray with *randomized* initial contents, so any reliance on stale
+state or mis-sequenced commands shows up as a wrong result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.rows import data_row
+from repro.dram.subarray import Subarray
+from repro.errors import SchedulingError
+from repro.exec.control_unit import ControlUnit
+from repro.exec.layout import RowLayout
+from repro.logic.mig import Mig
+from repro.uprog.program import OperandSpec
+from repro.uprog.scheduler import ScheduleOptions, schedule
+from repro.uprog.uops import Space, UAap, UAp, URow
+
+
+def run_mig(mig, n_in0, n_in1, n_out, inputs0, inputs1,
+            options=None, seed=0):
+    """Schedule ``mig`` and execute it on a randomized subarray."""
+    input_rows = {f"a{i}": URow(Space.INPUT0, i) for i in range(n_in0)}
+    input_rows |= {f"b{i}": URow(Space.INPUT1, i) for i in range(n_in1)}
+    output_rows = {f"y{i}": URow(Space.OUTPUT, i) for i in range(n_out)}
+    input_specs = [OperandSpec(Space.INPUT0, n_in0)]
+    if n_in1:
+        input_specs.append(OperandSpec(Space.INPUT1, n_in1))
+    program = schedule(
+        mig, op_name="test", backend="simdram", element_width=max(n_in0, 1),
+        input_specs=input_specs,
+        output_spec=OperandSpec(Space.OUTPUT, n_out),
+        input_rows=input_rows, output_rows=output_rows, options=options)
+
+    cols = len(inputs0[0]) if n_in0 else 8
+    geometry = DramGeometry.sim_small(
+        cols=cols, data_rows=n_in0 + n_in1 + n_out + program.n_temp_rows + 4)
+    subarray = Subarray(geometry, rng=np.random.default_rng(seed))
+    layout = RowLayout({
+        Space.INPUT0: 0,
+        Space.INPUT1: n_in0,
+        Space.OUTPUT: n_in0 + n_in1,
+        Space.TEMP: n_in0 + n_in1 + n_out,
+    })
+    for i, bits in enumerate(inputs0):
+        subarray.write_row(data_row(i), np.asarray(bits, dtype=bool))
+    for i, bits in enumerate(inputs1):
+        subarray.write_row(data_row(n_in0 + i), np.asarray(bits, dtype=bool))
+    ControlUnit().execute(program, subarray, layout)
+    outputs = [subarray.peek(data_row(n_in0 + n_in1 + i))
+               for i in range(n_out)]
+    return program, outputs
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestBasicNodes:
+    def test_single_and(self, rng):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", m.and_(a, b))
+        av, bv = rng.integers(0, 2, 16).astype(bool), \
+            rng.integers(0, 2, 16).astype(bool)
+        _, (out,) = run_mig(m, 1, 1, 1, [av], [bv])
+        assert np.array_equal(out, av & bv)
+
+    def test_single_or_and_xor(self, rng):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", m.or_(a, b))
+        m.set_output("y1", m.xor(a, b))
+        av, bv = rng.integers(0, 2, 16).astype(bool), \
+            rng.integers(0, 2, 16).astype(bool)
+        _, (out_or, out_xor) = run_mig(m, 1, 1, 2, [av], [bv])
+        assert np.array_equal(out_or, av | bv)
+        assert np.array_equal(out_xor, av ^ bv)
+
+    def test_negated_output(self, rng):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", ~m.and_(a, b))  # NAND
+        av, bv = rng.integers(0, 2, 16).astype(bool), \
+            rng.integers(0, 2, 16).astype(bool)
+        _, (out,) = run_mig(m, 1, 1, 1, [av], [bv])
+        assert np.array_equal(out, ~(av & bv))
+
+    def test_passthrough_output(self, rng):
+        m = Mig()
+        a = m.input("a0")
+        m.input("b0")  # declared but unused
+        m.set_output("y0", a)
+        av = rng.integers(0, 2, 16).astype(bool)
+        bv = rng.integers(0, 2, 16).astype(bool)
+        _, (out,) = run_mig(m, 1, 1, 1, [av], [bv])
+        assert np.array_equal(out, av)
+
+    def test_negated_input_passthrough(self, rng):
+        m = Mig()
+        a = m.input("a0")
+        m.input("b0")
+        m.set_output("y0", ~a)  # NOT via DCC round trip
+        av = rng.integers(0, 2, 16).astype(bool)
+        bv = rng.integers(0, 2, 16).astype(bool)
+        _, (out,) = run_mig(m, 1, 1, 1, [av], [bv])
+        assert np.array_equal(out, ~av)
+
+    def test_constant_outputs(self, rng):
+        m = Mig()
+        m.input("a0")
+        m.input("b0")
+        m.set_output("y0", m.const0)
+        m.set_output("y1", m.const1)
+        av = rng.integers(0, 2, 16).astype(bool)
+        bv = rng.integers(0, 2, 16).astype(bool)
+        _, (zero, one) = run_mig(m, 1, 1, 2, [av], [bv])
+        assert not zero.any()
+        assert one.all()
+
+    def test_same_node_feeds_two_outputs(self, rng):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        node = m.and_(a, b)
+        m.set_output("y0", node)
+        m.set_output("y1", ~node)
+        av, bv = rng.integers(0, 2, 16).astype(bool), \
+            rng.integers(0, 2, 16).astype(bool)
+        _, (pos, neg) = run_mig(m, 1, 1, 2, [av], [bv])
+        assert np.array_equal(pos, av & bv)
+        assert np.array_equal(neg, ~(av & bv))
+
+
+class TestDeepGraphs:
+    @pytest.mark.parametrize("reuse", [True, False])
+    def test_xor_tree(self, rng, reuse):
+        n = 8
+        m = Mig()
+        refs = [m.input(f"a{i}") for i in range(n)]
+        m.input("b0")
+        acc = refs[0]
+        for ref in refs[1:]:
+            acc = m.xor(acc, ref)
+        m.set_output("y0", acc)
+        rows = [rng.integers(0, 2, 16).astype(bool) for _ in range(n)]
+        bv = rng.integers(0, 2, 16).astype(bool)
+        options = ScheduleOptions(reuse=reuse)
+        _, (out,) = run_mig(m, n, 1, 1, rows, [bv], options=options)
+        expected = rows[0].copy()
+        for bits in rows[1:]:
+            expected ^= bits
+        assert np.array_equal(out, expected)
+
+    def test_reuse_never_issues_more_commands_than_naive(self, rng):
+        n = 6
+        m = Mig()
+        refs = [m.input(f"a{i}") for i in range(n)]
+        acc = refs[0]
+        for ref in refs[1:]:
+            acc = m.maj(acc, ref, ~refs[0])
+        m.set_output("y0", acc)
+        rows = [rng.integers(0, 2, 8).astype(bool) for _ in range(n)]
+        prog_reuse, _ = run_mig(m, n, 0, 1, rows, [],
+                                options=ScheduleOptions(reuse=True))
+        prog_naive, _ = run_mig(m, n, 0, 1, rows, [],
+                                options=ScheduleOptions(reuse=False))
+        assert prog_reuse.n_commands <= prog_naive.n_commands
+
+
+class TestPeephole:
+    def test_ambit_and_is_four_aaps(self):
+        """The canonical Ambit bulk AND: 3 loads + fused TRA-copy."""
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", m.and_(a, b))
+        input_rows = {"a0": URow(Space.INPUT0, 0),
+                      "b0": URow(Space.INPUT1, 0)}
+        program = schedule(
+            m, op_name="and", backend="ambit", element_width=1,
+            input_specs=[OperandSpec(Space.INPUT0, 1),
+                         OperandSpec(Space.INPUT1, 1)],
+            output_spec=OperandSpec(Space.OUTPUT, 1),
+            input_rows=input_rows,
+            output_rows={"y0": URow(Space.OUTPUT, 0)})
+        assert program.n_aap == 4
+        assert program.n_ap == 0  # TRA fused into the copy-out AAP
+
+    def test_peephole_can_be_disabled(self):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", m.and_(a, b))
+        input_rows = {"a0": URow(Space.INPUT0, 0),
+                      "b0": URow(Space.INPUT1, 0)}
+        program = schedule(
+            m, op_name="and", backend="simdram", element_width=1,
+            input_specs=[OperandSpec(Space.INPUT0, 1),
+                         OperandSpec(Space.INPUT1, 1)],
+            output_spec=OperandSpec(Space.OUTPUT, 1),
+            input_rows=input_rows,
+            output_rows={"y0": URow(Space.OUTPUT, 0)},
+            options=ScheduleOptions(peephole=False))
+        assert program.n_ap == 1
+        assert program.n_aap == 4
+
+    def test_merged_aap_reads_triple(self):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", m.and_(a, b))
+        program = schedule(
+            m, op_name="and", backend="simdram", element_width=1,
+            input_specs=[OperandSpec(Space.INPUT0, 1),
+                         OperandSpec(Space.INPUT1, 1)],
+            output_spec=OperandSpec(Space.OUTPUT, 1),
+            input_rows={"a0": URow(Space.INPUT0, 0),
+                        "b0": URow(Space.INPUT1, 0)},
+            output_rows={"y0": URow(Space.OUTPUT, 0)})
+        fused = [op for op in program.uops
+                 if isinstance(op, UAap) and op.src.n_wordlines == 3]
+        assert len(fused) == 1
+
+
+class TestValidation:
+    def test_missing_input_binding_rejected(self):
+        m = Mig()
+        a, b = m.input("a0"), m.input("b0")
+        m.set_output("y0", m.and_(a, b))
+        with pytest.raises(SchedulingError):
+            schedule(m, op_name="bad", backend="simdram", element_width=1,
+                     input_specs=[OperandSpec(Space.INPUT0, 1)],
+                     output_spec=OperandSpec(Space.OUTPUT, 1),
+                     input_rows={"a0": URow(Space.INPUT0, 0)},
+                     output_rows={"y0": URow(Space.OUTPUT, 0)})
+
+    def test_missing_output_binding_rejected(self):
+        m = Mig()
+        a = m.input("a0")
+        m.set_output("y0", a)
+        with pytest.raises(SchedulingError):
+            schedule(m, op_name="bad", backend="simdram", element_width=1,
+                     input_specs=[OperandSpec(Space.INPUT0, 1)],
+                     output_spec=OperandSpec(Space.OUTPUT, 1),
+                     input_rows={"a0": URow(Space.INPUT0, 0)},
+                     output_rows={})
+
+
+class TestTempAccounting:
+    def test_temp_high_water_reported(self):
+        """A multiplier keeps more values live than the six B-group
+        planes can hold, so the scheduler must spill to temporaries."""
+        from repro.core.compiler import compile_operation
+        from repro.core.operations import get_operation
+        program = compile_operation(get_operation("mul"), 8)
+        assert program.n_temp_rows >= 1
+
+    def test_temps_freed_and_reused(self):
+        """High-water mark stays far below one-temp-per-node."""
+        from repro.core.compiler import compile_operation
+        from repro.core.operations import get_operation
+        spec = get_operation("mul")
+        program = compile_operation(spec, 8)
+        from repro.core.compiler import build_mig
+        nodes = build_mig(spec, 8).n_nodes
+        assert program.n_temp_rows < nodes / 2

@@ -1,0 +1,78 @@
+"""Unit tests for the bit packing/transposition helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OperationError
+from repro.util.bitops import (
+    bits_to_ints,
+    ints_to_bits,
+    mask_for_width,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    @pytest.mark.parametrize("width,expected", [
+        (1, 1), (2, 3), (8, 255), (16, 65535), (32, 2**32 - 1),
+    ])
+    def test_mask_values(self, width, expected):
+        assert mask_for_width(width) == expected
+
+    @pytest.mark.parametrize("width", [0, -1, -8])
+    def test_invalid_width_rejected(self, width):
+        with pytest.raises(OperationError):
+            mask_for_width(width)
+
+
+class TestSignedness:
+    def test_to_unsigned_wraps_negatives(self):
+        out = to_unsigned(np.array([-1, -128, 127]), 8)
+        assert list(out) == [255, 128, 127]
+
+    def test_to_signed_reinterprets(self):
+        out = to_signed(np.array([255, 128, 127, 0]), 8)
+        assert list(out) == [-1, -128, 127, 0]
+
+    def test_roundtrip_signed_unsigned(self):
+        values = np.arange(-128, 128)
+        assert np.array_equal(to_signed(to_unsigned(values, 8), 8), values)
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_unsigned_always_in_range(self, width, value):
+        out = to_unsigned(np.array([value]), width)
+        assert 0 <= out[0] <= mask_for_width(width)
+
+
+class TestTranspose:
+    def test_ints_to_bits_lsb_first(self):
+        bits = ints_to_bits(np.array([6]), 4)  # 0b0110
+        assert bits.shape == (4, 1)
+        assert list(bits[:, 0]) == [False, True, True, False]
+
+    def test_roundtrip_unsigned(self):
+        rng = np.random.default_rng(0)
+        for width in (1, 3, 8, 17, 32):
+            values = rng.integers(0, 1 << width, 50)
+            assert np.array_equal(
+                bits_to_ints(ints_to_bits(values, width)), values)
+
+    def test_roundtrip_signed(self):
+        values = np.array([-5, 5, -128, 127, 0])
+        bits = ints_to_bits(values, 8)
+        assert np.array_equal(bits_to_ints(bits, signed=True), values)
+
+    def test_bits_to_ints_rejects_wrong_rank(self):
+        with pytest.raises(OperationError):
+            bits_to_ints(np.zeros(8, dtype=bool))
+
+    @given(st.integers(min_value=1, max_value=24),
+           st.lists(st.integers(min_value=0, max_value=2**24 - 1),
+                    min_size=1, max_size=20))
+    def test_roundtrip_property(self, width, raw_values):
+        values = np.array(raw_values, dtype=np.int64) & mask_for_width(width)
+        assert np.array_equal(
+            bits_to_ints(ints_to_bits(values, width)), values)

@@ -1,0 +1,71 @@
+"""Tests for table formatting and the exception hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(line) == len(lines[0]) or "-" in line
+                   for line in lines)
+
+    def test_title_and_separator(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert "=" in text.splitlines()[1]
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [1234567.0], [3.14159],
+                                    [0.0]])
+        assert "0.000123" in text
+        assert "3.14" in text
+        assert "0" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("name", [
+        "GeometryError", "AddressError", "CommandError", "SynthesisError",
+        "SchedulingError", "AllocationError", "IsaError", "ExecutionError",
+        "OperationError", "ConfigError",
+    ])
+    def test_all_derive_from_simdram_error(self, name):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.SimdramError)
+        assert issubclass(cls, Exception)
+
+    def test_one_except_clause_catches_everything(self):
+        try:
+            raise errors.SchedulingError("boom")
+        except errors.SimdramError as exc:
+            assert "boom" in str(exc)
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        import repro
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_exports(self):
+        import repro.dram
+        import repro.exec
+        import repro.logic
+        import repro.perf
+        import repro.uprog
+        for module in (repro.dram, repro.exec, repro.logic, repro.perf,
+                       repro.uprog):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
