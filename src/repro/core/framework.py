@@ -22,6 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -193,15 +194,20 @@ class Simdram:
     # ------------------------------------------------------------------
     # in-DRAM bulk copy / initialization (RowClone, paper §2)
     # ------------------------------------------------------------------
-    def copy(self, array: SimdramArray) -> SimdramArray:
+    def copy(self, array: SimdramArray,
+             signed: bool | None = None) -> SimdramArray:
         """Bulk-copy a vector inside DRAM via RowClone.
 
         One AAP per bit row; no data crosses the channel — the mechanism
         SIMDRAM also uses for its shift operations.
+
+        ``signed`` sets the result's signedness interpretation; the
+        default (``None``) preserves the source's, since a bit-exact
+        copy represents the same value under the same encoding.
         """
         self.tracker.lookup(array.block.base)
         out = self.empty(array.n_elements, array.width,
-                         signed=array.signed)
+                         signed=array.signed if signed is None else signed)
         from repro.dram.rows import data_row
         for bit in range(array.width):
             self.module.broadcast_aap(data_row(array.block.base + bit),
@@ -225,29 +231,46 @@ class Simdram:
                                       data_row(out.block.base + bit))
         return out
 
-    def shift_left(self, array: SimdramArray, amount: int) -> SimdramArray:
+    def shift_left(self, array: SimdramArray, amount: int,
+                   signed: bool | None = None) -> SimdramArray:
         """Elementwise logical left shift, entirely in DRAM (paper §2).
 
         In vertical layout a shift is pure row bookkeeping: bit row ``i``
         of the result is a RowClone copy of source bit row ``i - amount``,
         and the vacated low rows are RowCloned from the all-zeros control
         row.  No sense-amplifier computation happens at all.
+
+        ``signed`` sets the result's signedness interpretation; the
+        default (``None``) preserves the source's, because a left shift
+        is multiplication by ``2**amount`` modulo ``2**width`` under
+        *both* encodings — the bits don't care.
         """
-        return self._shift(array, amount, left=True)
+        return self._shift(array, amount, left=True, signed=signed)
 
-    def shift_right(self, array: SimdramArray,
-                    amount: int) -> SimdramArray:
-        """Elementwise logical right shift, entirely in DRAM (paper §2)."""
-        return self._shift(array, amount, left=False)
+    def shift_right(self, array: SimdramArray, amount: int,
+                    signed: bool | None = None) -> SimdramArray:
+        """Elementwise **logical** right shift, entirely in DRAM.
 
-    def _shift(self, array: SimdramArray, amount: int,
-               left: bool) -> SimdramArray:
+        The vacated high bit rows are RowCloned from the all-zeros
+        control row, so this is a logical (zero-filling) shift, *not* an
+        arithmetic one; on a signed source the sign bit is discarded.
+        The result is therefore unsigned by default (``signed=None``),
+        making the reinterpretation explicit at the call site — pass
+        ``signed=True`` only if you intend to reinterpret the shifted
+        bits as two's complement.
+        """
+        return self._shift(array, amount, left=False,
+                           signed=False if signed is None else signed)
+
+    def _shift(self, array: SimdramArray, amount: int, left: bool,
+               signed: bool | None = None) -> SimdramArray:
         from repro.dram.rows import ctrl_row, data_row
         if amount < 0:
             raise OperationError(f"shift amount must be >= 0, "
                                  f"got {amount}")
         self.tracker.lookup(array.block.base)
-        out = self.empty(array.n_elements, array.width, signed=False)
+        out = self.empty(array.n_elements, array.width,
+                         signed=array.signed if signed is None else signed)
         for bit in range(array.width):
             source_bit = bit - amount if left else bit + amount
             if 0 <= source_bit < array.width:
@@ -262,12 +285,21 @@ class Simdram:
     # execution (Step 3)
     # ------------------------------------------------------------------
     def run(self, op_name: str, *operands: SimdramArray,
-            backend: str | None = None) -> SimdramArray:
+            backend: str | None = None,
+            engine: str = "auto") -> SimdramArray:
         """Execute an operation over DRAM-resident operands.
 
         Forms the ``bbop`` instruction, round-trips it through the binary
         ISA encoding (as the memory controller would receive it), and
         replays the installed µProgram on every bank in lockstep.
+
+        ``engine`` selects the control unit's replay path (``"auto"``,
+        ``"vectorized"``, ``"per_bank"``); ``"auto"`` uses the
+        vectorized engine unless tracing or fault injection forces the
+        per-bank slow path.  Scratch rows are reserved with a
+        ``try``/``finally`` guarantee: a failing execution releases its
+        temporary block *and* the output allocation instead of leaking
+        them.
         """
         spec = get_operation(op_name)
         if len(operands) != spec.arity:
@@ -295,31 +327,36 @@ class Simdram:
         program = self.compile(op_name, width, backend)
         out = self.empty(n_elements, spec.out_width(width),
                          signed=spec.signed)
-        temp_block = None
-        if program.n_temp_rows:
-            temp_block = self._allocator.alloc(program.n_temp_rows)
+        try:
+            temp_reservation = (
+                self._allocator.reserve(program.n_temp_rows)
+                if program.n_temp_rows else contextlib.nullcontext(None))
+            with temp_reservation as temp_block:
+                # Form, encode and decode the bbop instruction (ISA
+                # round trip).
+                instruction = BbopInstruction.decode(bbop(
+                    op_name, dst=out.block.base,
+                    srcs=[o.block.base for o in operands],
+                    n_elements=n_elements, element_width=width).encode())
+                self.issued.append(instruction)
 
-        # Form, encode and decode the bbop instruction (ISA round trip).
-        instruction = BbopInstruction.decode(bbop(
-            op_name, dst=out.block.base,
-            srcs=[o.block.base for o in operands],
-            n_elements=n_elements, element_width=width).encode())
-        self.issued.append(instruction)
+                bases = {Space.OUTPUT: instruction.dst}
+                instr_srcs = (instruction.src0, instruction.src1,
+                              instruction.src2)
+                for space, base in zip(INPUT_SPACES,
+                                       instr_srcs[:spec.arity]):
+                    bases[space] = base
+                if temp_block is not None:
+                    bases[Space.TEMP] = temp_block.base
+                layout = RowLayout(bases)
 
-        bases = {Space.OUTPUT: instruction.dst}
-        instr_srcs = (instruction.src0, instruction.src1, instruction.src2)
-        for space, base in zip(INPUT_SPACES, instr_srcs[:spec.arity]):
-            bases[space] = base
-        if temp_block is not None:
-            bases[Space.TEMP] = temp_block.base
-        layout = RowLayout(bases)
-
-        key = ProgramKey(op_name, width, program.backend)
-        self.last_stats = self.control.execute_on_module(
-            self.control.lookup(key), self.module, layout)
-
-        if temp_block is not None:
-            self._allocator.free(temp_block)
+                key = ProgramKey(op_name, width, program.backend)
+                self.last_stats = self.control.execute_on_module(
+                    self.control.lookup(key), self.module, layout,
+                    engine=engine)
+        except BaseException:
+            out.free()
+            raise
         return out
 
     # ------------------------------------------------------------------
@@ -327,17 +364,25 @@ class Simdram:
     # ------------------------------------------------------------------
     def map(self, op_name: str, *host_operands, width: int = 8,
             backend: str | None = None,
-            signed_inputs: bool = False) -> np.ndarray:
+            engine: str = "auto") -> np.ndarray:
         """Run an operation over host vectors of arbitrary length.
 
         Vectors longer than the module's SIMD lanes are processed in
         lane-sized batches, the paper's execution model for large
-        inputs.  Per batch, operands are transposed in, the µProgram
-        runs, results are transposed out, and all rows are released.
+        inputs.  The operand, output and temporary row blocks are
+        allocated *once* and reused across batches (each batch's
+        transpose-in overwrites every row of every operand block), so
+        per-batch work is transpose-in, replay, transpose-out — no
+        alloc/free churn, and the control unit's plan cache hits on
+        every batch after the first because the row layout is stable.
+        All rows are released when the sweep finishes or fails.
 
         ``width`` is the element width in bits; operands with a
         fixed-width interface (e.g. ``if_else``'s 1-bit select) are
-        sized per the operation's spec automatically.
+        sized per the operation's spec automatically.  Host values are
+        encoded as ``width``-bit two's complement on the way in, so
+        negative inputs work with the signed operations directly; the
+        result's signedness follows the operation's spec.
         """
         spec = get_operation(op_name)
         if len(host_operands) != spec.arity:
@@ -354,20 +399,48 @@ class Simdram:
             raise OperationError("map needs at least one element")
 
         operand_widths = spec.in_widths(width)
+        out_width = spec.out_width(width)
         lanes = self.module.lanes
+        program = self.compile(op_name, width, backend)
+
         chunks = []
-        for start in range(0, n_total, lanes):
-            stop = min(start + lanes, n_total)
-            arrays = [
-                self.array(values[start:stop], in_width,
-                           signed=signed_inputs)
-                for values, in_width in zip(vectors, operand_widths)
-            ]
-            out = self.run(op_name, *arrays, backend=backend)
-            chunks.append(out.to_numpy())
-            for array in arrays:
-                array.free()
-            out.free()
+        with contextlib.ExitStack() as stack:
+            in_blocks = [stack.enter_context(self._allocator.reserve(w))
+                         for w in operand_widths]
+            out_block = stack.enter_context(
+                self._allocator.reserve(out_width))
+            temp_block = (stack.enter_context(
+                self._allocator.reserve(program.n_temp_rows))
+                if program.n_temp_rows else None)
+            # Announce each reused vertical object once (bbop_trsp_init),
+            # not once per batch, and drop it from the tracker on exit.
+            for block in (*in_blocks, out_block):
+                self._announce(block, min(lanes, n_total), block.width)
+                stack.callback(self.tracker.release, block.base)
+
+            bases = {Space.OUTPUT: out_block.base}
+            for space, block in zip(INPUT_SPACES, in_blocks):
+                bases[space] = block.base
+            if temp_block is not None:
+                bases[Space.TEMP] = temp_block.base
+            layout = RowLayout(bases)
+
+            for start in range(0, n_total, lanes):
+                stop = min(start + lanes, n_total)
+                for values, block, in_width in zip(vectors, in_blocks,
+                                                   operand_widths):
+                    self.transposer.host_to_vertical(
+                        self.module, block, values[start:stop], in_width)
+                instruction = BbopInstruction.decode(bbop(
+                    op_name, dst=out_block.base,
+                    srcs=[block.base for block in in_blocks],
+                    n_elements=stop - start, element_width=width).encode())
+                self.issued.append(instruction)
+                self.last_stats = self.control.execute_on_module(
+                    program, self.module, layout, engine=engine)
+                chunks.append(self.transposer.vertical_to_host(
+                    self.module, out_block, stop - start, out_width,
+                    signed=spec.signed))
         return np.concatenate(chunks)
 
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ import numpy as np
 from repro.dram.commands import CommandStats
 from repro.dram.geometry import DramGeometry
 from repro.dram.rows import RowAddress
-from repro.dram.subarray import Subarray
+from repro.dram.subarray import N_B_PLANES, Subarray
 from repro.errors import GeometryError
 
 
@@ -23,10 +23,14 @@ class Bank:
 
     def __init__(self, geometry: DramGeometry, bank_id: int,
                  trace: bool = False,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 data_storage: np.ndarray | None = None,
+                 b_storage: np.ndarray | None = None) -> None:
         self.geometry = geometry
         self.bank_id = bank_id
-        self.subarray = Subarray(geometry, trace=trace, rng=rng)
+        self.subarray = Subarray(geometry, trace=trace, rng=rng,
+                                 data_storage=data_storage,
+                                 b_storage=b_storage)
 
     @property
     def stats(self) -> CommandStats:
@@ -61,7 +65,17 @@ class DramModule:
             seq = np.random.SeedSequence(seed)
             rngs = [np.random.default_rng(s)
                     for s in seq.spawn(geometry.banks)]
-        self.banks = [Bank(geometry, bank_id=i, trace=trace, rng=rngs[i])
+        # All banks' cells live in two stacked arrays; each subarray gets
+        # a per-bank view.  The vectorized execution engine operates on
+        # the stacks directly, the per-bank slow path goes through the
+        # subarray objects — both mutate the same memory.
+        self._data_state = np.zeros(
+            (geometry.banks, geometry.data_rows, geometry.cols), dtype=bool)
+        self._b_state = np.zeros(
+            (geometry.banks, N_B_PLANES, geometry.cols), dtype=bool)
+        self.banks = [Bank(geometry, bank_id=i, trace=trace, rng=rngs[i],
+                           data_storage=self._data_state[i],
+                           b_storage=self._b_state[i])
                       for i in range(geometry.banks)]
 
     @property
@@ -88,6 +102,38 @@ class DramModule:
             raise GeometryError(
                 f"n_banks must be in [1, {len(self.banks)}], got {n_banks}")
         return self.banks[:n_banks]
+
+    # ------------------------------------------------------------------
+    # vectorized execution support
+    # ------------------------------------------------------------------
+    def vector_state(self, n_banks: int | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked cell-state views for the first ``n_banks`` banks.
+
+        Returns ``(data, b_planes)`` of shapes ``(n, data_rows, cols)``
+        and ``(n, N_B_PLANES, cols)``.  These are *views*: mutating them
+        is exactly mutating the banks' subarrays.
+        """
+        n = len(self._active(n_banks))
+        return self._data_state[:n], self._b_state[:n]
+
+    def supports_vectorized(self, n_banks: int | None = None) -> bool:
+        """Whether the stacked fast path is equivalent to the per-bank
+        path for the first ``n_banks`` banks.
+
+        False when any selected bank traces commands or injects TRA
+        faults (both are per-bank, per-command behaviours the stacked
+        executor does not model), or when a bank's subarray no longer
+        aliases the module's stacked storage (e.g. a test swapped it).
+        """
+        for bank in self._active(n_banks):
+            subarray = bank.subarray
+            if subarray.trace is not None or subarray.tra_fault_rate > 0.0:
+                return False
+            if (subarray._data.base is not self._data_state
+                    or subarray._b_planes.base is not self._b_state):
+                return False
+        return True
 
     def total_stats(self) -> CommandStats:
         """Merged command statistics across all banks."""

@@ -69,6 +69,21 @@ class CommandStats:
         io_nj = energy.io_nj(self.host_bits_read + self.host_bits_written)
         return ap_nj + aap_nj + io_nj
 
+    def accumulate(self, other: "CommandStats") -> None:
+        """Add ``other``'s counters into this object in place.
+
+        The vectorized executor computes one per-bank :class:`CommandStats`
+        for a whole µProgram and folds it into every participating bank's
+        counters, so bank stats match the per-bank path exactly.
+        """
+        self.n_ap += other.n_ap
+        self.n_aap += other.n_aap
+        self.ap_wordlines += other.ap_wordlines
+        self.aap_src_wordlines += other.aap_src_wordlines
+        self.aap_dst_wordlines += other.aap_dst_wordlines
+        self.host_bits_read += other.host_bits_read
+        self.host_bits_written += other.host_bits_written
+
     def merged_with(self, other: "CommandStats") -> "CommandStats":
         """Return a new stats object combining both operands."""
         return CommandStats(

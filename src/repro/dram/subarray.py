@@ -37,7 +37,10 @@ from repro.dram.rows import (
 from repro.errors import AddressError, CommandError
 
 #: Map each B-group wordline to (storage plane, True if non-inverting port).
-_WORDLINE_PLANE: dict[Wordline, tuple[int, bool]] = {
+#: Shared with the vectorized execution-plan compiler
+#: (:mod:`repro.exec.plan`), which classifies µOps against the same
+#: storage model so both executors stay bit-identical.
+WORDLINE_PLANE: dict[Wordline, tuple[int, bool]] = {
     Wordline.T0: (0, True),
     Wordline.T1: (1, True),
     Wordline.T2: (2, True),
@@ -47,7 +50,12 @@ _WORDLINE_PLANE: dict[Wordline, tuple[int, bool]] = {
     Wordline.DCC1: (5, True),
     Wordline.DCC1N: (5, False),
 }
-_N_B_PLANES = 6
+#: Number of physical B-group storage planes (DCC ports share a cell).
+N_B_PLANES = 6
+
+# Backwards-compatible aliases (pre-vectorization private names).
+_WORDLINE_PLANE = WORDLINE_PLANE
+_N_B_PLANES = N_B_PLANES
 
 
 def majority3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
@@ -70,12 +78,22 @@ class Subarray:
             0.0 = ideal device).
         fault_rng: Generator driving fault injection (defaults to a
             fixed-seed generator when ``tra_fault_rate`` > 0).
+        data_storage: Optional external ``(data_rows, cols)`` bool array
+            to use as the D-group cell storage.  A :class:`DramModule`
+            passes per-bank views of one stacked ``(banks, rows, cols)``
+            array so the vectorized execution engine can operate on all
+            banks at once while this per-subarray model stays the
+            bit-identical slow path (the two share memory).
+        b_storage: Optional external ``(N_B_PLANES, cols)`` bool array
+            for the B-group cells, same contract as ``data_storage``.
     """
 
     def __init__(self, geometry: DramGeometry, trace: bool = False,
                  rng: np.random.Generator | None = None,
                  tra_fault_rate: float = 0.0,
-                 fault_rng: np.random.Generator | None = None) -> None:
+                 fault_rng: np.random.Generator | None = None,
+                 data_storage: np.ndarray | None = None,
+                 b_storage: np.ndarray | None = None) -> None:
         if not 0.0 <= tra_fault_rate <= 1.0:
             raise CommandError(
                 f"tra_fault_rate must be a probability, "
@@ -90,14 +108,30 @@ class Subarray:
         #: TRA bit flips injected so far (observability for tests).
         self.faults_injected = 0
         cols = geometry.cols
+        data_shape = (geometry.data_rows, cols)
+        b_shape = (N_B_PLANES, cols)
+        if data_storage is None:
+            data_storage = np.empty(data_shape, dtype=bool)
+        if b_storage is None:
+            b_storage = np.empty(b_shape, dtype=bool)
+        if data_storage.shape != data_shape or data_storage.dtype != bool:
+            raise CommandError(
+                f"data_storage must be a bool array of shape {data_shape}, "
+                f"got {data_storage.dtype} {data_storage.shape}")
+        if b_storage.shape != b_shape or b_storage.dtype != bool:
+            raise CommandError(
+                f"b_storage must be a bool array of shape {b_shape}, "
+                f"got {b_storage.dtype} {b_storage.shape}")
+        self._data = data_storage
+        self._b_planes = b_storage
         if rng is None:
-            self._data = np.zeros((geometry.data_rows, cols), dtype=bool)
-            self._b_planes = np.zeros((_N_B_PLANES, cols), dtype=bool)
+            self._data[...] = False
+            self._b_planes[...] = False
         else:
-            self._data = rng.integers(
-                0, 2, size=(geometry.data_rows, cols)).astype(bool)
-            self._b_planes = rng.integers(
-                0, 2, size=(_N_B_PLANES, cols)).astype(bool)
+            self._data[...] = rng.integers(
+                0, 2, size=data_shape).astype(bool)
+            self._b_planes[...] = rng.integers(
+                0, 2, size=b_shape).astype(bool)
 
     @property
     def cols(self) -> int:

@@ -1,9 +1,11 @@
-"""Execution layer (Step 3): control unit, row layout binding, vertical
-memory allocation and the transposition unit."""
+"""Execution layer (Step 3): control unit, vectorized execution plans,
+row layout binding, vertical memory allocation and the transposition
+unit."""
 
 from repro.exec.control_unit import ControlUnit, ProgramKey
 from repro.exec.layout import RowLayout
 from repro.exec.memory import RowBlock, VerticalAllocator
+from repro.exec.plan import ExecutionPlan, PlanStep, StepKind, compile_plan
 from repro.exec.tracker import ObjectTracker, TrackedObject
 from repro.exec.transposition import TranspositionCost, TranspositionUnit
 
@@ -13,6 +15,10 @@ __all__ = [
     "RowLayout",
     "RowBlock",
     "VerticalAllocator",
+    "ExecutionPlan",
+    "PlanStep",
+    "StepKind",
+    "compile_plan",
     "ObjectTracker",
     "TrackedObject",
     "TranspositionCost",

@@ -5,10 +5,21 @@ scratchpad (programs are installed once, at boot in the paper), and on
 every ``bbop`` instruction it replays the matching µProgram as a stream
 of AAP/AP commands to the participating banks, transparently to the
 user (paper §3, step 3).
+
+Replay has two equivalent engines:
+
+* the **vectorized** engine compiles the µProgram + row layout into an
+  :class:`~repro.exec.plan.ExecutionPlan` (cached) and executes it over
+  the module's stacked cell state, all banks at once — the default, and
+  the one that actually behaves like the paper's lockstep broadcast;
+* the **per-bank** engine replays the symbolic µOps bank by bank
+  through each :class:`Subarray` — the traced / fault-injection slow
+  path, bit-identical to the fast path on success.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.dram.bank import DramModule
@@ -16,6 +27,7 @@ from repro.dram.commands import CommandStats
 from repro.dram.subarray import Subarray
 from repro.errors import ExecutionError
 from repro.exec.layout import RowLayout
+from repro.exec.plan import ExecutionPlan, compile_plan
 from repro.uprog.program import MicroProgram
 from repro.uprog.uops import UAap, UAp
 
@@ -23,6 +35,11 @@ from repro.uprog.uops import UAap, UAp
 #: µProgram in a small memory inside the controller; we size it generously
 #: because our µPrograms are fully unrolled (no loop registers).
 DEFAULT_SCRATCHPAD_UOPS = 1 << 20
+
+#: Execution-plan cache entries kept per control unit (LRU).  A plan is
+#: (program, layout, geometry)-specific; steady-state workloads reuse a
+#: handful of layouts, so a small bound suffices.
+DEFAULT_PLAN_CACHE_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -37,9 +54,15 @@ class ProgramKey:
 class ControlUnit:
     """Holds installed µPrograms and replays them on DRAM banks."""
 
-    def __init__(self, scratchpad_uops: int = DEFAULT_SCRATCHPAD_UOPS) -> None:
+    def __init__(self, scratchpad_uops: int = DEFAULT_SCRATCHPAD_UOPS,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self.scratchpad_uops = scratchpad_uops
+        self.plan_cache_size = plan_cache_size
         self._programs: dict[ProgramKey, MicroProgram] = {}
+        self._plan_cache: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        #: Plan-cache observability (tests, benchmarks).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # µProgram installation
@@ -100,15 +123,64 @@ class ControlUnit:
                                - before.aap_dst_wordlines),
         )
 
+    def plan_for(self, program: MicroProgram, layout: RowLayout,
+                 geometry) -> ExecutionPlan:
+        """Fetch (or compile and cache) the execution plan for
+        ``program`` bound to ``layout`` under ``geometry``."""
+        key = (ProgramKey(program.op_name, program.element_width,
+                          program.backend),
+               program.fingerprint(), layout.cache_key(), geometry)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return plan
+        self.plan_cache_misses += 1
+        plan = compile_plan(program, layout, geometry)
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        return plan
+
     def execute_on_module(self, program: MicroProgram, module: DramModule,
                           layout: RowLayout,
-                          n_banks: int | None = None) -> CommandStats:
-        """Broadcast a µProgram to ``n_banks`` banks in lockstep."""
+                          n_banks: int | None = None,
+                          engine: str = "auto") -> CommandStats:
+        """Broadcast a µProgram to ``n_banks`` banks in lockstep.
+
+        ``engine`` selects the replay path: ``"vectorized"`` executes a
+        compiled :class:`ExecutionPlan` over the stacked cell state of
+        all participating banks at once, ``"per_bank"`` replays the
+        µOps through each subarray in turn, and ``"auto"`` (default)
+        picks the vectorized engine whenever it is equivalent — i.e.
+        no selected bank traces commands or injects TRA faults.
+        """
+        if engine not in ("auto", "vectorized", "per_bank"):
+            raise ExecutionError(
+                f"unknown engine {engine!r}; "
+                "expected 'auto', 'vectorized' or 'per_bank'")
         banks = module.banks if n_banks is None else module.banks[:n_banks]
         if not banks:
             raise ExecutionError("no banks selected for execution")
-        stats = CommandStats()
+
+        vectorizable = module.supports_vectorized(len(banks))
+        if engine == "vectorized" and not vectorizable:
+            raise ExecutionError(
+                "vectorized engine requested, but a selected bank is "
+                "traced, fault-injected, or detached from the module's "
+                "stacked state; use engine='per_bank' (or 'auto')")
+        if engine == "per_bank" or not vectorizable:
+            stats = CommandStats()
+            for bank in banks:
+                stats = stats.merged_with(
+                    self.execute(program, bank.subarray, layout))
+            return stats
+
+        plan = self.plan_for(program, layout, module.geometry)
+        data, b_planes = module.vector_state(len(banks))
+        plan.execute(data, b_planes)
+        # Fold the per-bank stats into each bank so the two engines
+        # leave identical accounting state.
         for bank in banks:
-            stats = stats.merged_with(
-                self.execute(program, bank.subarray, layout))
-        return stats
+            bank.subarray.stats.accumulate(plan.per_bank_stats)
+        return plan.per_bank_stats.scaled(len(banks))

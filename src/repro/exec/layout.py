@@ -30,6 +30,17 @@ class RowLayout:
             raise AllocationError(
                 f"layout does not bind space {space}") from None
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of this binding, for execution-plan caches.
+
+        Two layouts with equal keys resolve every symbolic row to the
+        same address, so a plan compiled under one is valid under the
+        other.  (``bases`` is a dict, so the dataclass itself is not
+        hashable.)
+        """
+        return tuple(sorted((space.value, base)
+                            for space, base in self.bases.items()))
+
     def resolve(self, row: URow) -> RowAddress:
         """Translate a symbolic µProgram row into a subarray address."""
         if row.space is Space.CTRL:

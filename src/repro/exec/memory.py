@@ -10,6 +10,7 @@ compiler's temporary region before building a :class:`RowLayout`.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 from repro.dram.geometry import DramGeometry
@@ -68,6 +69,21 @@ class VerticalAllocator:
             else:
                 merged.append((base, size))
         self._free = merged
+
+    @contextlib.contextmanager
+    def reserve(self, width: int):
+        """Allocate ``width`` rows for the duration of a ``with`` block.
+
+        The block is freed on exit *even when the body raises*, which is
+        how the framework guarantees failed executions never leak
+        scratch rows (temporaries have no owner that could free them
+        later).
+        """
+        block = self.alloc(width)
+        try:
+            yield block
+        finally:
+            self.free(block)
 
     def free_rows(self) -> int:
         """Total unallocated rows."""

@@ -55,6 +55,28 @@ class MicroProgram:
             seen.add(spec.space)
         if self.output.space is not Space.OUTPUT:
             raise SchedulingError("output operand must use Space.OUTPUT")
+        self._fingerprint: int | None = None
+
+    def fingerprint(self) -> int:
+        """Stable content hash of the command stream and interface.
+
+        The control unit keys its execution-plan cache on this, so a
+        reinstalled µProgram with different contents never hits a stale
+        plan, while identical contents share one.  Cached: µPrograms are
+        immutable by convention once compiled.
+        """
+        if self._fingerprint is None:
+            uop_sig = tuple(
+                (op.addr.space.value, op.addr.index) if isinstance(op, UAp)
+                else (op.src.space.value, op.src.index,
+                      op.dst.space.value, op.dst.index)
+                for op in self.uops)
+            self._fingerprint = hash((
+                self.op_name, self.backend, self.element_width,
+                tuple((s.space.value, s.width) for s in self.inputs),
+                (self.output.space.value, self.output.width),
+                self.n_temp_rows, uop_sig))
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # cost metadata

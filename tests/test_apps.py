@@ -31,7 +31,7 @@ from repro.apps.cnn import LENET_LAYERS, VGG13_LAYERS, VGG16_LAYERS
 from repro.core.framework import Simdram, SimdramConfig
 from repro.dram.geometry import DramGeometry
 from repro.errors import OperationError
-from repro.perf.platforms import cpu_skylake, gpu_volta
+from repro.perf.platforms import cpu_skylake
 
 
 @pytest.fixture(scope="module")
@@ -118,8 +118,8 @@ class TestCnn:
             conv2d_simdram(app_sim, np.zeros((2, 2)), np.zeros((3, 3)))
 
     def test_layer_shapes(self):
-        assert len([l for l in VGG13_LAYERS]) == 13
-        assert len([l for l in VGG16_LAYERS]) == 16
+        assert len(list(VGG13_LAYERS)) == 13
+        assert len(list(VGG16_LAYERS)) == 16
         assert len(LENET_LAYERS) == 5
 
     def test_vgg16_heavier_than_vgg13(self):

@@ -18,7 +18,6 @@ from repro.core.operations import (
 )
 from repro.dram.geometry import DramGeometry
 from repro.errors import OperationError
-from repro.logic import library
 
 
 class TestCatalog:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.dram.bank import DramModule
 from repro.dram.geometry import DramGeometry
-from repro.dram.rows import RowGroup, b_row, ctrl_row, data_row
+from repro.dram.rows import b_row, ctrl_row, data_row
 from repro.dram.subarray import Subarray
 from repro.errors import AllocationError, ExecutionError, OperationError
 from repro.exec.control_unit import ControlUnit, ProgramKey

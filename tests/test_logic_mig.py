@@ -8,7 +8,6 @@ from repro.errors import SynthesisError
 from repro.logic import library
 from repro.logic.circuit import Circuit
 from repro.logic.mig import Mig, Ref
-from repro.logic.optimize import optimize, rebuild
 
 
 def eval1(mig, **inputs):

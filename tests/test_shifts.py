@@ -56,3 +56,48 @@ class TestShiftRight:
         total = sim.run("add", halved, array)
         assert np.array_equal(total.to_numpy(),
                               ((values >> 1) + values) % 256)
+
+
+class TestSignedness:
+    """Result signedness of in-DRAM copy/shift is explicit: copy and
+    left shift preserve the source's interpretation, logical right
+    shift is unsigned unless overridden."""
+
+    def test_copy_preserves_signedness(self, sim):
+        array = sim.array([-3, 5, -128, 127], 8, signed=True)
+        clone = sim.copy(array)
+        assert clone.signed
+        assert np.array_equal(clone.to_numpy(), [-3, 5, -128, 127])
+
+    def test_copy_signedness_override(self, sim):
+        array = sim.array([-1, -2], 8, signed=True)
+        as_unsigned = sim.copy(array, signed=False)
+        assert not as_unsigned.signed
+        assert np.array_equal(as_unsigned.to_numpy(), [255, 254])
+
+    def test_shift_left_preserves_signedness(self, sim):
+        array = sim.array([-3, 5, -60], 8, signed=True)
+        shifted = sim.shift_left(array, 1)
+        assert shifted.signed
+        # Left shift is *2 mod 2^8 under two's complement as well.
+        assert np.array_equal(shifted.to_numpy(), [-6, 10, -120])
+
+    def test_shift_left_unsigned_source_stays_unsigned(self, sim):
+        array = sim.array([200], 8)
+        shifted = sim.shift_left(array, 1)
+        assert not shifted.signed
+        assert np.array_equal(shifted.to_numpy(), [144])  # (400 % 256)
+
+    def test_shift_right_is_unsigned_by_default(self, sim):
+        """Logical right shift discards the sign bit: the result of
+        shifting -2 (0b11111110) right by one is 127, not -1."""
+        array = sim.array([-2, -128], 8, signed=True)
+        shifted = sim.shift_right(array, 1)
+        assert not shifted.signed
+        assert np.array_equal(shifted.to_numpy(), [127, 64])
+
+    def test_shift_right_signed_reinterpretation_is_explicit(self, sim):
+        array = sim.array([-2], 8, signed=True)
+        shifted = sim.shift_right(array, 0, signed=True)
+        assert shifted.signed
+        assert np.array_equal(shifted.to_numpy(), [-2])

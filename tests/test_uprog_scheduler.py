@@ -17,7 +17,7 @@ from repro.exec.layout import RowLayout
 from repro.logic.mig import Mig
 from repro.uprog.program import OperandSpec
 from repro.uprog.scheduler import ScheduleOptions, schedule
-from repro.uprog.uops import Space, UAap, UAp, URow
+from repro.uprog.uops import Space, UAap, URow
 
 
 def run_mig(mig, n_in0, n_in1, n_out, inputs0, inputs1,
