@@ -8,6 +8,7 @@ from repro.apps.bitweaving import (
     range_scan_simdram,
 )
 from repro.apps.brightness import (
+    adjust_brightness_fused,
     adjust_brightness_golden,
     adjust_brightness_simdram,
     brightness_kernel,
@@ -16,6 +17,7 @@ from repro.apps.cnn import (
     LENET_LAYERS,
     VGG13_LAYERS,
     VGG16_LAYERS,
+    conv2d_relu_simdram_fused,
     conv2d_simdram,
     lenet_kernel,
     relu_simdram,
@@ -55,12 +57,14 @@ __all__ = [
     "bitweaving_kernel",
     "range_scan_golden",
     "range_scan_simdram",
+    "adjust_brightness_fused",
     "adjust_brightness_golden",
     "adjust_brightness_simdram",
     "brightness_kernel",
     "LENET_LAYERS",
     "VGG13_LAYERS",
     "VGG16_LAYERS",
+    "conv2d_relu_simdram_fused",
     "conv2d_simdram",
     "lenet_kernel",
     "relu_simdram",

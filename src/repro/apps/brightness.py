@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.common import KernelModel, OpInvocation
+from repro.core import expr
+from repro.core.expr import Expr
 from repro.core.framework import Simdram
 from repro.errors import OperationError
 
@@ -68,6 +70,39 @@ def adjust_brightness_simdram(sim: Simdram, image: np.ndarray,
                 under, clamped):
         arr.free()
     return result
+
+
+def brightness_expr(delta: int) -> Expr:
+    """The whole scale+clamp pipeline as one fused expression.
+
+    ``max(min(px + delta, 255), 0)`` — the delta and both clamp bounds
+    are compile-time constants, so the adder and both clamps specialize
+    in the MIG; the five-operation unfused pipeline (add, gt, if_else,
+    gt, if_else) collapses to one µProgram with a single DRAM-resident
+    input.
+    """
+    shifted = expr.add(expr.inp("px"), expr.const(delta))
+    return expr.max(expr.min(shifted, expr.const(255)), expr.const(0))
+
+
+def adjust_brightness_fused(sim: Simdram, image: np.ndarray,
+                            delta: int) -> np.ndarray:
+    """Brightness-adjust an image with **one** fused µProgram.
+
+    Streams through :meth:`Simdram.map_expr`, so (unlike the unfused
+    version, which is bounded by the module's SIMD lanes) frames of any
+    size are processed in lane-sized batches — each batch is
+    transpose-in, one replay, transpose-out, with zero intermediate
+    vertical objects.  Kernels are cached per delta (the DAG hash
+    includes the folded constant).
+    """
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise OperationError("expected a uint8 image")
+    flat = image.reshape(-1).astype(np.int64)
+    clamped = sim.map_expr(brightness_expr(delta), {"px": flat},
+                           width=PIXEL_BITS)
+    return clamped.astype(np.uint8).reshape(image.shape)
 
 
 def adjust_brightness_golden(image: np.ndarray, delta: int) -> np.ndarray:

@@ -28,6 +28,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.compiler import compile_operation
+from repro.core.expr import Expr, dag_hash
+from repro.core.fuse import FusedKernel
+from repro.core.fuse import compile_expr as _compile_expr
 from repro.core.operations import (
     CATALOG,
     BuildFn,
@@ -111,6 +114,8 @@ class Simdram:
         self.tracker = ObjectTracker(capacity=4096)
         self._allocator = VerticalAllocator(self.config.geometry)
         self._programs: dict[tuple[str, int, str], MicroProgram] = {}
+        #: Fused-kernel cache: (DAG hash, width, backend) -> FusedKernel.
+        self._fused: dict[tuple[str, int, str], FusedKernel] = {}
         #: Stats of the most recent :meth:`run` call.
         self.last_stats: CommandStats | None = None
         #: Instruction log (every bbop issued), for tests/inspection.
@@ -138,6 +143,28 @@ class Simdram:
             self.control.install(program)
             self._programs[key] = program
         return program
+
+    def compile_expr(self, root: Expr, width: int,
+                     backend: str | None = None) -> FusedKernel:
+        """Compile an expression DAG into one fused µProgram (cached).
+
+        The cache key is the DAG's stable content hash plus the element
+        width and backend, so structurally identical pipelines share one
+        compiled kernel — and, downstream, one control-unit
+        :class:`~repro.exec.plan.ExecutionPlan` per row layout.
+        """
+        backend = backend or self.config.backend
+        key = (dag_hash(root), width, backend)
+        kernel = self._fused.get(key)
+        if kernel is None:
+            options = (self.config.schedule if backend == "simdram"
+                       else None)
+            kernel = _compile_expr(
+                root, width, backend=backend, options=options,
+                optimize_mig=self.config.optimize_mig)
+            self.control.install(kernel.program)
+            self._fused[key] = kernel
+        return kernel
 
     def register_operation(self, name: str, arity: int, build: BuildFn,
                            golden: GoldenFn, category: str = "user",
@@ -327,6 +354,20 @@ class Simdram:
         program = self.compile(op_name, width, backend)
         out = self.empty(n_elements, spec.out_width(width),
                          signed=spec.signed)
+        return self._dispatch(program, operands, out, n_elements,
+                              engine=engine)
+
+    def _dispatch(self, program: MicroProgram,
+                  operands: tuple[SimdramArray, ...], out: SimdramArray,
+                  n_elements: int, engine: str) -> SimdramArray:
+        """Issue one installed µProgram over DRAM-resident operands.
+
+        Forms the ``bbop`` instruction, round-trips it through the
+        binary ISA encoding, reserves the program's scratch rows and
+        replays it on every bank.  A failing execution releases its
+        temporary block *and* the output allocation instead of leaking
+        them.
+        """
         try:
             temp_reservation = (
                 self._allocator.reserve(program.n_temp_rows)
@@ -335,22 +376,24 @@ class Simdram:
                 # Form, encode and decode the bbop instruction (ISA
                 # round trip).
                 instruction = BbopInstruction.decode(bbop(
-                    op_name, dst=out.block.base,
+                    program.op_name, dst=out.block.base,
                     srcs=[o.block.base for o in operands],
-                    n_elements=n_elements, element_width=width).encode())
+                    n_elements=n_elements,
+                    element_width=program.element_width).encode())
                 self.issued.append(instruction)
 
                 bases = {Space.OUTPUT: instruction.dst}
                 instr_srcs = (instruction.src0, instruction.src1,
                               instruction.src2)
                 for space, base in zip(INPUT_SPACES,
-                                       instr_srcs[:spec.arity]):
+                                       instr_srcs[:len(operands)]):
                     bases[space] = base
                 if temp_block is not None:
                     bases[Space.TEMP] = temp_block.base
                 layout = RowLayout(bases)
 
-                key = ProgramKey(op_name, width, program.backend)
+                key = ProgramKey(program.op_name, program.element_width,
+                                 program.backend)
                 self.last_stats = self.control.execute_on_module(
                     self.control.lookup(key), self.module, layout,
                     engine=engine)
@@ -358,6 +401,55 @@ class Simdram:
             out.free()
             raise
         return out
+
+    def run_expr(self, root: Expr, feeds: dict[str, SimdramArray],
+                 *, width: int | None = None, backend: str | None = None,
+                 engine: str = "auto") -> SimdramArray:
+        """Execute a whole expression DAG as **one** fused µProgram.
+
+        ``feeds`` binds every input leaf of ``root`` to a DRAM-resident
+        array.  The pipeline width defaults to the widest operand (pass
+        ``width`` explicitly for pipelines whose operands are all
+        narrower than the element width, e.g. an ``if_else`` fed only
+        1-bit arrays).  Intermediate values never touch named row
+        blocks: the whole DAG replays as a single command stream with
+        one output allocation and one temp reservation.
+        """
+        if width is None:
+            if not feeds:
+                raise OperationError(
+                    "run_expr needs at least one input array")
+            width = max(array.width for array in feeds.values())
+        kernel = self.compile_expr(root, width, backend)
+        self._check_feed_names(kernel, feeds)
+        operands = tuple(feeds[name] for name in kernel.input_names)
+        for name, operand, expected in zip(kernel.input_names, operands,
+                                           kernel.input_widths):
+            if operand.width != expected:
+                raise OperationError(
+                    f"fused input {name!r} must be {expected}-bit, "
+                    f"got {operand.width}-bit")
+        n_elements = operands[0].n_elements
+        if any(o.n_elements != n_elements for o in operands):
+            raise OperationError(
+                f"fused expression: operand lengths differ: "
+                f"{[o.n_elements for o in operands]}")
+        for operand in operands:
+            self.tracker.lookup(operand.block.base)
+        out = self.empty(n_elements, kernel.out_width,
+                         signed=kernel.signed)
+        return self._dispatch(kernel.program, operands, out, n_elements,
+                              engine=engine)
+
+    @staticmethod
+    def _check_feed_names(kernel: FusedKernel, feeds: dict) -> None:
+        missing = set(kernel.input_names) - set(feeds)
+        extra = set(feeds) - set(kernel.input_names)
+        if missing or extra:
+            raise OperationError(
+                f"fused expression inputs are {sorted(kernel.input_names)}"
+                + (f"; missing {sorted(missing)}" if missing else "")
+                + (f"; unexpected {sorted(extra)}" if extra else ""))
 
     # ------------------------------------------------------------------
     # streaming execution over host vectors of any length
@@ -398,15 +490,32 @@ class Simdram:
         if n_total == 0:
             raise OperationError("map needs at least one element")
 
-        operand_widths = spec.in_widths(width)
-        out_width = spec.out_width(width)
-        lanes = self.module.lanes
         program = self.compile(op_name, width, backend)
+        return self._map_batches(program, vectors, spec.in_widths(width),
+                                 spec.out_width(width), spec.signed,
+                                 engine)
+
+    def _map_batches(self, program: MicroProgram,
+                     vectors: list["np.ndarray"],
+                     input_widths: "tuple[int, ...] | list[int]",
+                     out_width: int, signed: bool,
+                     engine: str) -> np.ndarray:
+        """The shared batching loop of :meth:`map` and :meth:`map_expr`.
+
+        Reserves the operand/output/temporary row blocks *once* and
+        reuses them across lane-sized batches, so per-batch work is
+        transpose-in, replay, transpose-out and the control unit's plan
+        cache hits from batch 2 on.  All rows are released when the
+        sweep finishes or fails (the PR-1 leak-class guarantee lives
+        here, in exactly one place).
+        """
+        n_total = len(vectors[0])
+        lanes = self.module.lanes
 
         chunks = []
         with contextlib.ExitStack() as stack:
             in_blocks = [stack.enter_context(self._allocator.reserve(w))
-                         for w in operand_widths]
+                         for w in input_widths]
             out_block = stack.enter_context(
                 self._allocator.reserve(out_width))
             temp_block = (stack.enter_context(
@@ -428,20 +537,49 @@ class Simdram:
             for start in range(0, n_total, lanes):
                 stop = min(start + lanes, n_total)
                 for values, block, in_width in zip(vectors, in_blocks,
-                                                   operand_widths):
+                                                   input_widths):
                     self.transposer.host_to_vertical(
                         self.module, block, values[start:stop], in_width)
                 instruction = BbopInstruction.decode(bbop(
-                    op_name, dst=out_block.base,
+                    program.op_name, dst=out_block.base,
                     srcs=[block.base for block in in_blocks],
-                    n_elements=stop - start, element_width=width).encode())
+                    n_elements=stop - start,
+                    element_width=program.element_width).encode())
                 self.issued.append(instruction)
                 self.last_stats = self.control.execute_on_module(
                     program, self.module, layout, engine=engine)
                 chunks.append(self.transposer.vertical_to_host(
                     self.module, out_block, stop - start, out_width,
-                    signed=spec.signed))
+                    signed=signed))
         return np.concatenate(chunks)
+
+    def map_expr(self, root: Expr, feeds: dict[str, "np.ndarray"],
+                 *, width: int = 8, backend: str | None = None,
+                 engine: str = "auto") -> np.ndarray:
+        """Run a fused expression DAG over host vectors of any length.
+
+        The fused analogue of :meth:`map`: vectors longer than the
+        module's SIMD lanes are processed in lane-sized batches, with
+        the operand, output and temporary row blocks allocated *once*
+        and reused across batches.  Because the whole DAG is one
+        µProgram, each batch is transpose-in, one replay, transpose-out
+        — no per-operation intermediates exist at all.  Host values are
+        encoded as two's complement at each leaf's width; the result's
+        signedness follows the root operation's spec.
+        """
+        kernel = self.compile_expr(root, width, backend)
+        self._check_feed_names(kernel, feeds)
+        vectors = [np.asarray(feeds[name]) for name in kernel.input_names]
+        n_total = len(vectors[0])
+        if any(len(v) != n_total for v in vectors):
+            raise OperationError(
+                f"fused expression: operand lengths differ: "
+                f"{[len(v) for v in vectors]}")
+        if n_total == 0:
+            raise OperationError("map_expr needs at least one element")
+        return self._map_batches(kernel.program, vectors,
+                                 kernel.input_widths, kernel.out_width,
+                                 kernel.signed, engine)
 
     # ------------------------------------------------------------------
     # measurement helpers

@@ -1,0 +1,257 @@
+"""The fusion compiler: one µProgram for a whole expression DAG.
+
+Where :func:`repro.core.compiler.compile_operation` compiles a single
+catalog operation, this module compiles an :class:`~repro.core.expr.Expr`
+DAG end to end:
+
+1. every operation's gate-level circuit is instantiated into **one**
+   shared :class:`~repro.logic.circuit.Circuit`, each operation's output
+   bits wired directly as the next operation's input nets (constants
+   become constant nets and fold away);
+2. the stitched circuit becomes a single MIG and is optimized *across*
+   operation boundaries — Step 1 sees the whole pipeline;
+3. the existing Step-2 :class:`~repro.uprog.scheduler.Scheduler` then
+   allocates rows for the whole graph in one pass, so intermediate
+   values live in B-group planes and compiler temporaries with
+   cross-operation temp-row reuse and dead-temp freeing — they never
+   touch named row blocks, never transpose, never allocate per step.
+
+The resulting :class:`FusedKernel` behaves exactly like a catalog
+µProgram at Step 3: it binds up to three input spaces (the ``bbop``
+instruction carries three source addresses), one output space and a
+temp region; the control unit caches its
+:class:`~repro.exec.plan.ExecutionPlan` keyed on the DAG hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compiler import backend_style
+from repro.core.expr import (
+    KIND_CONST,
+    KIND_OP,
+    Expr,
+    analyze,
+    dag_hash,
+    n_ops,
+    post_order,
+)
+from repro.core.operations import get_operation
+from repro.errors import OperationError
+from repro.isa.instructions import register_opcode
+from repro.logic.circuit import Circuit, Net
+from repro.logic.mig import Mig
+from repro.logic.optimize import optimize
+from repro.uprog.program import MicroProgram, OperandSpec
+from repro.uprog.scheduler import ScheduleOptions, schedule_stitched
+from repro.uprog.uops import INPUT_SPACES, URow
+from repro.util.bitops import to_unsigned
+
+#: The bbop instruction carries at most this many source base addresses.
+MAX_FUSED_INPUTS = len(INPUT_SPACES)
+
+#: Operand-slot prefixes, matching compile_operation's row naming.
+_SLOT_PREFIXES = ("a", "b", "c")
+
+
+@dataclass(frozen=True)
+class FusedKernel:
+    """A compiled expression DAG: one µProgram plus its interface."""
+
+    program: MicroProgram
+    root: Expr
+    width: int                        # pipeline element width
+    backend: str
+    dag_hash: str
+    input_names: tuple[str, ...]      # leaf names, operand-slot order
+    input_widths: tuple[int, ...]     # bit width of each operand slot
+    out_width: int
+    signed: bool                      # root operation's signedness
+    n_ops: int                        # catalog operations stitched
+
+    @property
+    def op_name(self) -> str:
+        return self.program.op_name
+
+
+def fused_op_name(digest: str) -> str:
+    """The µProgram/bbop name of a fused kernel, from its DAG hash."""
+    return f"fused_{digest}"
+
+
+def _stitch_root(circuit: Circuit, root: Expr, width: int,
+                 input_widths: dict[str, int], style: str,
+                 slot_of: dict[str, int]) -> list[Net]:
+    """Stitch one DAG into the shared circuit; returns the root's nets.
+
+    Each operation's circuit factory receives its children's *output
+    nets* directly as operand bit lists — the wiring that makes
+    intermediates free.  Input leaves become circuit inputs named by
+    their operand slot (``a0..``, ``b0..``, ``c0..``), constants become
+    constant nets encoded at the width each consumer expects (the same
+    const value may feed consumers of different widths); the circuit's
+    structural hashing dedups subgraphs shared between roots.
+    """
+    bits: dict[Expr, list[Net]] = {}
+
+    def bits_of(node: Expr) -> list[Net]:
+        cached = bits.get(node)
+        if cached is not None:
+            return cached
+        prefix = _SLOT_PREFIXES[slot_of[node.name]]
+        nets = [circuit.input(f"{prefix}{i}")
+                for i in range(input_widths[node.name])]
+        bits[node] = nets
+        return nets
+
+    def const_nets(value: int, w: int) -> list[Net]:
+        encoded = int(to_unsigned(np.array([value]), w)[0])
+        return [circuit.const(bool((encoded >> i) & 1)) for i in range(w)]
+
+    for node in post_order(root):
+        if node.kind != KIND_OP:
+            continue
+        spec = get_operation(node.op)
+        args = [const_nets(child.value, w) if child.kind == KIND_CONST
+                else bits_of(child)
+                for child, w in zip(node.children, spec.in_widths(width))]
+        outputs = spec.build(circuit, args, style)
+        expected = spec.out_width(width)
+        if len(outputs) != expected:
+            raise OperationError(
+                f"{spec.name}: factory produced {len(outputs)} output "
+                f"bits, spec says {expected}")
+        bits[node] = outputs
+    return bits[root]
+
+
+def _input_interface(input_widths: dict[str, int],
+                     ) -> tuple[list[OperandSpec], dict[str, URow]]:
+    """Operand specs and symbolic row bindings for the input leaves."""
+    input_rows: dict[str, URow] = {}
+    input_specs: list[OperandSpec] = []
+    for slot, (_, in_width) in enumerate(input_widths.items()):
+        space = INPUT_SPACES[slot]
+        input_specs.append(OperandSpec(space, in_width))
+        for bit in range(in_width):
+            input_rows[f"{_SLOT_PREFIXES[slot]}{bit}"] = URow(space, bit)
+    return input_specs, input_rows
+
+
+def _check_input_count(input_widths: dict[str, int]) -> None:
+    if len(input_widths) > MAX_FUSED_INPUTS:
+        raise OperationError(
+            f"fused expression binds {len(input_widths)} distinct inputs "
+            f"{sorted(input_widths)}; the bbop instruction carries at "
+            f"most {MAX_FUSED_INPUTS} source addresses (fold broadcast "
+            f"values into expr.const leaves)")
+
+
+def compile_expr(root: Expr, width: int, backend: str = "simdram",
+                 options: ScheduleOptions | None = None,
+                 optimize_mig: bool = True) -> FusedKernel:
+    """Compile an expression DAG into one fused µProgram.
+
+    Mirrors :func:`~repro.core.compiler.compile_operation` (including
+    the Ambit baseline's naive default schedule) but runs Steps 1+2 on
+    the stitched whole-pipeline graph.
+    """
+    analysis = analyze(root, width)
+    _check_input_count(analysis.input_widths)
+    if options is None and backend == "ambit":
+        options = ScheduleOptions(reuse=False)
+
+    circuit = Circuit()
+    slot_of = {name: i for i, name in enumerate(analysis.input_widths)}
+    nets = _stitch_root(circuit, root, width, analysis.input_widths,
+                        backend_style(backend), slot_of)
+    for i, net in enumerate(nets):
+        circuit.set_output(f"y{i}", net)
+
+    mig = Mig.from_circuit(circuit)
+    if optimize_mig:
+        mig, _ = optimize(mig)
+
+    input_specs, input_rows = _input_interface(analysis.input_widths)
+    digest = dag_hash(root)
+    name = fused_op_name(digest)
+    program, _ = schedule_stitched(
+        mig, op_name=name, backend=backend, element_width=width,
+        input_specs=input_specs, input_rows=input_rows,
+        output_groups=[("y", [f"y{i}" for i in range(analysis.out_width)])],
+        options=options, source_hash=digest)
+    # Fused kernels are issued through the same bbop ISA as catalog
+    # operations; give the kernel an opcode on first compilation.
+    register_opcode(name)
+    return FusedKernel(
+        program=program, root=root, width=width, backend=backend,
+        dag_hash=digest,
+        input_names=tuple(analysis.input_widths),
+        input_widths=tuple(analysis.input_widths.values()),
+        out_width=analysis.out_width, signed=analysis.signed,
+        n_ops=n_ops(root))
+
+
+def compile_multi(roots: dict[str, Expr], width: int,
+                  backend: str = "simdram",
+                  options: ScheduleOptions | None = None,
+                  optimize_mig: bool = True,
+                  ) -> tuple[MicroProgram, dict[str, tuple[int, int]]]:
+    """Compile several root expressions into one multi-output µProgram.
+
+    All roots draw from one shared pool of at most three input leaves
+    (with consistent widths).  The outputs are packed contiguously into
+    the OUTPUT space; the returned mapping gives each root's ``(bit
+    offset, width)`` slice.  This is the multi-output stitching entry
+    used directly at the µProgram level (the framework's public API
+    exposes single-root kernels).
+    """
+    if not roots:
+        raise OperationError("compile_multi needs at least one root")
+    if options is None and backend == "ambit":
+        options = ScheduleOptions(reuse=False)
+
+    analyses = {name: analyze(root, width) for name, root in roots.items()}
+    input_widths: dict[str, int] = {}
+    for analysis in analyses.values():
+        for leaf, w in analysis.input_widths.items():
+            known = input_widths.setdefault(leaf, w)
+            if known != w:
+                raise OperationError(
+                    f"input {leaf!r} is consumed at {known}-bit and "
+                    f"{w}-bit widths across roots")
+    _check_input_count(input_widths)
+
+    circuit = Circuit()
+    style = backend_style(backend)
+    slot_of = {name: i for i, name in enumerate(input_widths)}
+    output_groups: list[tuple[str, list[str]]] = []
+    for out_name, analysis in analyses.items():
+        nets = _stitch_root(circuit, analysis.root, width, input_widths,
+                            style, slot_of)
+        bit_names = []
+        for i, net in enumerate(nets):
+            bit_name = f"{out_name}_{i}"
+            circuit.set_output(bit_name, net)
+            bit_names.append(bit_name)
+        output_groups.append((out_name, bit_names))
+
+    mig = Mig.from_circuit(circuit)
+    if optimize_mig:
+        mig, _ = optimize(mig)
+
+    input_specs, input_rows = _input_interface(input_widths)
+    token = "+".join(f"{name}:{dag_hash(root)}"
+                     for name, root in sorted(roots.items()))
+    digest = hashlib.sha256(token.encode()).hexdigest()[:16]
+    name = fused_op_name(digest)
+    program, slices = schedule_stitched(
+        mig, op_name=name, backend=backend, element_width=width,
+        input_specs=input_specs, input_rows=input_rows,
+        output_groups=output_groups, options=options, source_hash=digest)
+    register_opcode(name)
+    return program, slices

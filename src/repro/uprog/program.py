@@ -42,6 +42,11 @@ class MicroProgram:
     output: OperandSpec
     uops: list[MicroOp] = field(default_factory=list)
     n_temp_rows: int = 0
+    #: Stable identity of the source the program was compiled from (the
+    #: expression-DAG hash for fused kernels, ``None`` for catalog ops).
+    #: Folded into :meth:`fingerprint`, so execution-plan cache keys
+    #: distinguish fused kernels even across name collisions.
+    source_hash: str | None = None
 
     def __post_init__(self) -> None:
         seen = set()
@@ -73,6 +78,7 @@ class MicroProgram:
                 for op in self.uops)
             self._fingerprint = hash((
                 self.op_name, self.backend, self.element_width,
+                self.source_hash,
                 tuple((s.space.value, s.width) for s in self.inputs),
                 (self.output.space.value, self.output.width),
                 self.n_temp_rows, uop_sig))
@@ -92,6 +98,22 @@ class MicroProgram:
     @property
     def n_commands(self) -> int:
         return len(self.uops)
+
+    @property
+    def n_operand_copies(self) -> int:
+        """AAPs that read or write a *named operand row block* (an
+        INPUT*/OUTPUT space).
+
+        This is the vector-row traffic an operation exchanges with its
+        operands — exactly the commands fusion removes for
+        intermediates, since a fused pipeline's inner values live only
+        in B-group planes and compiler temporaries.  Step-by-step
+        execution of a pipeline pays this per stage (each stage's
+        output block is the next stage's input block)."""
+        return sum(1 for op in self.uops if isinstance(op, UAap)
+                   and (op.src.space.is_input or op.src.space is Space.OUTPUT
+                        or op.dst.space.is_input
+                        or op.dst.space is Space.OUTPUT))
 
     def stats(self) -> CommandStats:
         """Command statistics of one execution in one subarray."""
@@ -138,6 +160,7 @@ class MicroProgram:
             "inputs": [[s.space.value, s.width] for s in self.inputs],
             "output": [self.output.space.value, self.output.width],
             "n_temp_rows": self.n_temp_rows,
+            "source_hash": self.source_hash,
             "uops": ops,
         }
 
@@ -166,6 +189,7 @@ class MicroProgram:
                                data["output"][1]),
             uops=uops,
             n_temp_rows=data["n_temp_rows"],
+            source_hash=data.get("source_hash"),
         )
 
     def listing(self, max_ops: int | None = None) -> str:

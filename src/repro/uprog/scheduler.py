@@ -93,12 +93,44 @@ class _State:
             self.free_temps.append(idx)
 
 
+def cone_order(mig: Mig) -> list[int]:
+    """Alternative Step-2 node order: complete each output's whole fanin
+    cone (depth-first) before starting the next output's.
+
+    Compared to the default topological order this keeps values close to
+    their consumers, shortening live ranges across the six B-group
+    planes — a large win for wide/deep graphs (the multiplier array,
+    fused multi-operation pipelines) and a small loss for shallow ones.
+    :func:`schedule` tries both orders and keeps the cheaper program.
+    """
+    order: list[int] = []
+    seen: set[int] = set()
+    for _, out_ref in mig.outputs:
+        stack: list[tuple[int, bool]] = [(out_ref.node, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in seen:
+                continue
+            children = mig.children_of(node)
+            if children is None:  # leaf
+                seen.add(node)
+                continue
+            if expanded:
+                seen.add(node)
+                order.append(node)
+                continue
+            stack.append((node, True))
+            stack.extend((ref.node, False) for ref in reversed(children))
+    return order
+
+
 class Scheduler:
     """Compiles one MIG into a :class:`MicroProgram`."""
 
     def __init__(self, mig: Mig, input_rows: dict[str, URow],
                  output_rows: dict[str, URow],
-                 options: ScheduleOptions | None = None) -> None:
+                 options: ScheduleOptions | None = None,
+                 order: list[int] | None = None) -> None:
         self.mig = mig
         self.options = options or ScheduleOptions()
         self.input_rows = dict(input_rows)
@@ -114,7 +146,11 @@ class Scheduler:
         if missing:
             raise SchedulingError(f"no row binding for outputs {missing}")
 
-        self.order = mig.live_nodes()
+        self.order = mig.live_nodes() if order is None else order
+        if order is not None and sorted(order) != sorted(mig.live_nodes()):
+            raise SchedulingError(
+                "explicit schedule order must be a permutation of the "
+                "MIG's live nodes")
         self.remaining_uses: dict[int, int] = {}
         for node in self.order:
             for ref in mig.children_of(node):
@@ -513,10 +549,30 @@ class Scheduler:
 def schedule(mig: Mig, op_name: str, backend: str, element_width: int,
              input_specs: list[OperandSpec], output_spec: OperandSpec,
              input_rows: dict[str, URow], output_rows: dict[str, URow],
-             options: ScheduleOptions | None = None) -> MicroProgram:
-    """Compile ``mig`` into a :class:`MicroProgram` (the paper's Step 2)."""
-    scheduler = Scheduler(mig, input_rows, output_rows, options)
-    uops, n_temp = scheduler.run()
+             options: ScheduleOptions | None = None,
+             source_hash: str | None = None) -> MicroProgram:
+    """Compile ``mig`` into a :class:`MicroProgram` (the paper's Step 2).
+
+    Schedules the graph under both node orders (topological and
+    per-output cone, see :func:`cone_order`) and keeps whichever
+    produces fewer commands — compilation is offline (µPrograms are
+    built once, at boot in the paper), so trying both is free at
+    execution time and consistently shrinks wide programs.
+    """
+    topo = mig.live_nodes()
+    candidates: list[list[int]] = [topo]
+    cone = cone_order(mig)
+    if cone != topo:
+        candidates.append(cone)
+    best: tuple[tuple[int, int], list[MicroOp], int] | None = None
+    for order in candidates:
+        scheduler = Scheduler(mig, input_rows, output_rows, options,
+                              order=order)
+        uops, n_temp = scheduler.run()
+        key = (len(uops), n_temp)
+        if best is None or key < best[0]:
+            best = (key, uops, n_temp)
+    _, uops, n_temp = best
     return MicroProgram(
         op_name=op_name,
         backend=backend,
@@ -525,4 +581,52 @@ def schedule(mig: Mig, op_name: str, backend: str, element_width: int,
         output=output_spec,
         uops=uops,
         n_temp_rows=n_temp,
+        source_hash=source_hash,
     )
+
+
+def schedule_stitched(mig: Mig, op_name: str, backend: str,
+                      element_width: int, input_specs: list[OperandSpec],
+                      input_rows: dict[str, URow],
+                      output_groups: list[tuple[str, list[str]]],
+                      options: ScheduleOptions | None = None,
+                      source_hash: str | None = None,
+                      ) -> tuple[MicroProgram, dict[str, tuple[int, int]]]:
+    """Schedule a stitched multi-operation MIG with packed outputs.
+
+    The fusion compiler stitches several catalog operations into one MIG
+    whose outputs may belong to several logical results (e.g. the roots
+    of an expression DAG).  This entry packs each named *output group* —
+    ``(group_name, [mig output names, bit 0 first])`` — into one
+    contiguous region of the OUTPUT space, schedules the whole graph in
+    a single pass (so cross-operation temp-row reuse and dead-temp
+    freeing happen exactly as within one operation), and returns the
+    µProgram together with each group's ``(bit offset, width)`` inside
+    the OUTPUT block.
+    """
+    if not output_groups:
+        raise SchedulingError("schedule_stitched needs >= 1 output group")
+    output_rows: dict[str, URow] = {}
+    group_slices: dict[str, tuple[int, int]] = {}
+    offset = 0
+    for group_name, bit_names in output_groups:
+        if group_name in group_slices:
+            raise SchedulingError(
+                f"duplicate output group {group_name!r}")
+        if not bit_names:
+            raise SchedulingError(
+                f"output group {group_name!r} has no bits")
+        for i, bit_name in enumerate(bit_names):
+            if bit_name in output_rows:
+                raise SchedulingError(
+                    f"MIG output {bit_name!r} assigned to two groups")
+            output_rows[bit_name] = URow(Space.OUTPUT, offset + i)
+        group_slices[group_name] = (offset, len(bit_names))
+        offset += len(bit_names)
+    program = schedule(
+        mig, op_name=op_name, backend=backend, element_width=element_width,
+        input_specs=input_specs,
+        output_spec=OperandSpec(Space.OUTPUT, offset),
+        input_rows=input_rows, output_rows=output_rows, options=options,
+        source_hash=source_hash)
+    return program, group_slices

@@ -8,10 +8,12 @@ from repro.apps import (
     BitSlicedColumn,
     KernelHarness,
     LineitemTable,
+    adjust_brightness_fused,
     adjust_brightness_golden,
     adjust_brightness_simdram,
     bitweaving_kernel,
     brightness_kernel,
+    conv2d_relu_simdram_fused,
     conv2d_simdram,
     filtered_sum_golden,
     filtered_sum_simdram,
@@ -53,6 +55,26 @@ class TestBrightness:
         with pytest.raises(OperationError):
             adjust_brightness_simdram(app_sim,
                                       np.zeros((2, 2), dtype=np.int32), 1)
+
+    @pytest.mark.parametrize("delta", (70, -75))
+    def test_fused_matches_golden_and_unfused(self, app_sim, delta):
+        """The fused scale+clamp kernel is bit-identical to the
+        step-by-step pipeline, including on frames larger than the
+        module's SIMD lanes (map_expr batches them)."""
+        rng = np.random.default_rng(delta & 0xFF)
+        shape = (3, app_sim.module.lanes // 2 + 5)  # not a lane multiple
+        image = rng.integers(0, 256, shape).astype(np.uint8)
+        fused = adjust_brightness_fused(app_sim, image, delta)
+        assert np.array_equal(fused, adjust_brightness_golden(image, delta))
+        small = image[:2, :8]
+        assert np.array_equal(
+            adjust_brightness_fused(app_sim, small, delta),
+            adjust_brightness_simdram(app_sim, small, delta))
+
+    def test_fused_requires_uint8(self, app_sim):
+        with pytest.raises(OperationError):
+            adjust_brightness_fused(app_sim,
+                                    np.zeros((2, 2), dtype=np.int32), 1)
 
 
 class TestTpch:
@@ -107,6 +129,19 @@ class TestCnn:
             for x in range(6):
                 expected[y, x] = (image[y:y + 3, x:x + 3] * kernel).sum()
         assert np.array_equal(got, expected)
+
+    def test_fused_conv2d_relu_matches_golden(self, app_sim):
+        """One fused multiply-accumulate µProgram per tap (ReLU folded
+        into the last) equals the direct correlation + ReLU."""
+        rng = np.random.default_rng(10)
+        image = rng.integers(0, 50, (5, 5))
+        kernel = rng.integers(-3, 4, (2, 2))
+        got = conv2d_relu_simdram_fused(app_sim, image, kernel)
+        expected = np.zeros((4, 4), dtype=np.int64)
+        for y in range(4):
+            for x in range(4):
+                expected[y, x] = (image[y:y + 2, x:x + 2] * kernel).sum()
+        assert np.array_equal(got, np.maximum(expected, 0))
 
     def test_relu_helper(self, app_sim):
         values = np.array([[-10, 4], [0, -1]])
