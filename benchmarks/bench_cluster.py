@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""CI benchmark: sharded multi-module runtime scaling + paging smoke.
+
+Two gates for the runtime subsystem (``repro.runtime``):
+
+1. **Scaling** — a 4-module sharded ``map`` of 8-bit ``add`` must
+   achieve at least ``--min-speedup`` (default 2.5x) the 1-module
+   *modeled* throughput.  Modules are independent channels executing
+   concurrently, so cluster throughput is ``elements / makespan`` where
+   the makespan is the busiest module's simulated busy time (commands
+   at DDR timing + channel I/O for transposition); the single-module
+   baseline serializes the same work on one module.  Wall-clock
+   simulator time is reported alongside for transparency (on a
+   multi-core host the per-module worker threads also overlap in wall
+   time; numpy releases the GIL in its inner loops).
+
+2. **Paging** — a working set larger than one module's D-group rows
+   must complete through spill/fill churn with bit-exact results, and
+   must actually spill.
+
+Numbers are merged into ``bench_ci.json`` (section ``"cluster"``) next
+to the engine-speedup smoke, so one artifact carries the whole story.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--output bench_ci.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.framework import SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.runtime import SimdramCluster
+
+GATE_OP = "add"
+GATE_WIDTH = 8
+N_ELEMENTS = 16384
+COLS = 512
+BANKS = 2
+MODULE_COUNTS = (1, 4)
+
+
+def module_config(data_rows: int = 256) -> SimdramConfig:
+    return SimdramConfig(geometry=DramGeometry.sim_small(
+        cols=COLS, data_rows=data_rows, banks=BANKS))
+
+
+def bench_sharded_map() -> dict:
+    """Modeled + wall throughput of sharded map at 1 and 4 modules."""
+    rng = np.random.default_rng(42)
+    a = rng.integers(0, 1 << GATE_WIDTH, N_ELEMENTS)
+    b = rng.integers(0, 1 << GATE_WIDTH, N_ELEMENTS)
+    golden = (a + b) % (1 << GATE_WIDTH)
+
+    entries = {}
+    for n_modules in MODULE_COUNTS:
+        with SimdramCluster(n_modules, config=module_config()) as cluster:
+            start = time.perf_counter()
+            result = cluster.map(GATE_OP, a, b, width=GATE_WIDTH)
+            wall_seconds = time.perf_counter() - start
+            makespan_ns = cluster.makespan_ns()
+            correct = bool(np.array_equal(result, golden))
+        entries[n_modules] = {
+            "modules": n_modules,
+            "lanes": COLS * BANKS * n_modules,
+            "elements": N_ELEMENTS,
+            "correct": correct,
+            "makespan_ns": makespan_ns,
+            # Modeled throughput: elements per simulated microsecond.
+            "elements_per_us": N_ELEMENTS / (makespan_ns / 1e3),
+            "wall_seconds": wall_seconds,
+        }
+        print(f"map {GATE_OP} w{GATE_WIDTH} x{N_ELEMENTS} on "
+              f"{n_modules} module(s): makespan {makespan_ns/1e3:9.1f} us"
+              f" ({entries[n_modules]['elements_per_us']:8.1f} elem/us),"
+              f" wall {wall_seconds:.2f}s, "
+              f"{'OK' if correct else 'MISMATCH'}")
+    return entries
+
+
+def bench_paging() -> dict:
+    """A working set > one module's rows completes via spill/fill."""
+    data_rows = 64  # eight 8-bit tensors max; we keep 20 alive
+    rng = np.random.default_rng(7)
+    n = COLS * BANKS  # one shard per tensor
+    hosts = [rng.integers(0, 256, n) for _ in range(20)]
+
+    with SimdramCluster(1, config=module_config(data_rows)) as cluster:
+        start = time.perf_counter()
+        tensors = [cluster.tensor(h, 8) for h in hosts]
+        outs = [cluster.run("add", t, t) for t in tensors]
+        correct = all(
+            np.array_equal(out.to_numpy(), (2 * host) % 256)
+            for host, out in zip(hosts, outs))
+        wall_seconds = time.perf_counter() - start
+        stats = cluster.paging_stats()
+        entry = {
+            "data_rows": data_rows,
+            "working_set_rows": 8 * (len(hosts) * 2),
+            "tensors": len(hosts),
+            "correct": bool(correct),
+            "n_spills": stats.n_spills,
+            "n_fills": stats.n_fills,
+            "spill_bits": stats.spill_bits,
+            "fill_bits": stats.fill_bits,
+            "wall_seconds": wall_seconds,
+        }
+    print(f"paging: {entry['working_set_rows']} working-set rows in "
+          f"{data_rows} D-rows -> {entry['n_spills']} spills / "
+          f"{entry['n_fills']} fills, "
+          f"{'OK' if correct else 'MISMATCH'}")
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="bench_ci.json",
+                        help="JSON report; the cluster section is "
+                             "merged into an existing file")
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="required 4-module / 1-module modeled "
+                             "throughput ratio on sharded map")
+    args = parser.parse_args(argv)
+
+    sharded = bench_sharded_map()
+    paging = bench_paging()
+
+    speedup = (sharded[4]["elements_per_us"]
+               / sharded[1]["elements_per_us"])
+    scaling_pass = (speedup >= args.min_speedup
+                    and all(e["correct"] for e in sharded.values()))
+    paging_pass = paging["correct"] and paging["n_spills"] > 0
+
+    report_path = Path(args.output)
+    report = (json.loads(report_path.read_text())
+              if report_path.exists() else {})
+    report["cluster"] = {
+        "sharded_map": [sharded[m] for m in MODULE_COUNTS],
+        "paging": paging,
+        "gate": {
+            "kernel": GATE_OP,
+            "element_width": GATE_WIDTH,
+            "required_speedup": args.min_speedup,
+            "measured_speedup": speedup,
+            "scaling_pass": scaling_pass,
+            "paging_pass": paging_pass,
+            "pass": scaling_pass and paging_pass,
+        },
+    }
+    report_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not scaling_pass:
+        print(f"GATE FAILED: 4-module sharded map is only {speedup:.2f}x "
+              f"the 1-module modeled throughput "
+              f"(required: {args.min_speedup:.1f}x)", file=sys.stderr)
+        return 1
+    if not paging_pass:
+        print("GATE FAILED: spilling workload did not complete "
+              "correctly (or never spilled)", file=sys.stderr)
+        return 1
+    print(f"gate ok: {speedup:.2f}x >= {args.min_speedup:.1f}x and "
+          f"paging workload completed "
+          f"({paging['n_spills']} spills, {paging['n_fills']} fills)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

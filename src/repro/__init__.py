@@ -24,7 +24,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.perf` — throughput/energy/area models for SIMDRAM, Ambit,
   CPU and GPU;
 * :mod:`repro.reliability` — process-variation Monte Carlo;
-* :mod:`repro.apps` — the seven application kernels of the paper.
+* :mod:`repro.apps` — the seven application kernels of the paper;
+* :mod:`repro.runtime` — the sharded multi-module runtime: clusters,
+  device-resident tensors, the paging allocator and the async job
+  scheduler.
 """
 
 from repro.core.framework import Simdram, SimdramArray, SimdramConfig
@@ -32,13 +35,16 @@ from repro.core.operations import CATALOG, PAPER_OPERATIONS, get_operation
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DramTiming
 from repro.errors import SimdramError
+from repro.runtime import DeviceTensor, SimdramCluster
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simdram",
     "SimdramArray",
     "SimdramConfig",
+    "SimdramCluster",
+    "DeviceTensor",
     "CATALOG",
     "PAPER_OPERATIONS",
     "get_operation",

@@ -232,6 +232,50 @@ def conv2d_relu_simdram_fused(sim: Simdram, image: np.ndarray,
     return result
 
 
+def conv2d_relu_cluster(cluster, image: np.ndarray,
+                        weights: np.ndarray) -> np.ndarray:
+    """Valid 2-D convolution + ReLU on the sharded multi-module runtime.
+
+    The cluster analogue of :func:`conv2d_relu_simdram_fused`: output
+    pixels are SIMD lanes *across all modules* (feature maps larger
+    than one module's lanes shard transparently), the accumulator and
+    per-tap pixel tensors stay device-resident between taps, and working
+    sets beyond a module's D-group rows page through the runtime's
+    eviction layer instead of failing.  Each tap is the same fused
+    multiply-accumulate kernel, compiled once at the cluster level and
+    adopted by every module.
+    """
+    image = np.asarray(image)
+    weights = np.asarray(weights)
+    if image.ndim != 2 or weights.ndim != 2:
+        raise OperationError("conv2d expects a 2-D image and kernel")
+    k = weights.shape[0]
+    if weights.shape != (k, k):
+        raise OperationError("kernel must be square")
+    out_h, out_w = image.shape[0] - k + 1, image.shape[1] - k + 1
+    if out_h < 1 or out_w < 1:
+        raise OperationError("kernel larger than image")
+
+    taps = [(dy, dx) for dy in range(k) for dx in range(k)]
+    acc = cluster.tensor(np.zeros(out_h * out_w, dtype=np.int64),
+                         ACC_BITS, signed=True)
+    for dy, dx in taps:
+        patch = image[dy:dy + out_h, dx:dx + out_w].reshape(-1)
+        pixels = cluster.tensor(patch.astype(np.int64), ACC_BITS,
+                                signed=True)
+        last = (dy, dx) == taps[-1]
+        weight = int(weights[dy, dx])
+        tap = madd_relu_expr(weight) if last else madd_expr(weight)
+        new_acc = cluster.run_expr(tap, {"x": pixels, "acc": acc},
+                                   width=ACC_BITS)
+        pixels.free()
+        acc.free()
+        acc = new_acc
+    result = acc.to_numpy().reshape(out_h, out_w)
+    acc.free()
+    return result
+
+
 def relu_simdram(sim: Simdram, values: np.ndarray,
                  width: int = ACC_BITS) -> np.ndarray:
     """Elementwise ReLU executed with the SIMDRAM ``relu`` µProgram."""

@@ -7,6 +7,7 @@ Examples::
     python -m repro compile mul 16 --backend ambit --full
     python -m repro compare add 32             # all platforms, one op
     python -m repro demo                       # end-to-end functional run
+    python -m repro cluster --modules 4 --op add --n 4096
 """
 
 from __future__ import annotations
@@ -82,6 +83,57 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Exercise the sharded runtime end to end: device tensors, async
+    submission, paging, and the modeled multi-module speedup."""
+    from repro.core.operations import get_operation
+    from repro.runtime import SimdramCluster
+
+    spec = get_operation(args.op)
+    geometry = DramGeometry.sim_small(
+        cols=args.cols, data_rows=args.data_rows, banks=args.banks)
+    config = SimdramConfig(geometry=geometry)
+    rng = np.random.default_rng(args.seed)
+    vectors = [rng.integers(0, 1 << in_width, args.n).astype(np.int64)
+               for in_width in spec.in_widths(args.width)]
+
+    with SimdramCluster(args.modules, config=config) as cluster:
+        tensors = [cluster.tensor(v, w) for v, w in
+                   zip(vectors, spec.in_widths(args.width))]
+        handle = cluster.submit(args.op, *tensors)
+        result = handle.result().to_numpy()
+        # Golden models produce unsigned two's-complement encodings;
+        # compare in that domain so signed ops (max, relu, ...) match.
+        from repro.util.bitops import to_unsigned
+        out_width = spec.out_width(args.width)
+        golden = np.asarray(spec.golden(vectors, args.width))
+        ok = np.array_equal(to_unsigned(result, out_width), golden)
+
+        streamed = cluster.map(args.op, *vectors, width=args.width)
+        map_ok = np.array_equal(to_unsigned(streamed, out_width), golden)
+
+        stats = cluster.total_stats()
+        paging = cluster.paging_stats()
+        rows = [
+            ("modules", cluster.n_modules),
+            ("SIMD lanes", cluster.lanes),
+            ("elements", args.n),
+            ("shards", len(tensors[0].shards)),
+            ("AAP commands", stats.n_aap),
+            ("AP commands", stats.n_ap),
+            ("spills / fills", f"{paging.n_spills} / {paging.n_fills}"),
+            ("modeled makespan (us)",
+             round(cluster.makespan_ns() / 1e3, 2)),
+            ("tensor result", "OK" if ok else "MISMATCH"),
+            ("sharded map result", "OK" if map_ok else "MISMATCH"),
+        ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.op} at {args.width}-bit on a "
+              f"{args.modules}-module cluster"))
+    return 0 if ok and map_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -107,6 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("width", type=int)
 
     sub.add_parser("demo", help="run a functional end-to-end demo")
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="run an operation on the sharded multi-module runtime")
+    cluster_parser.add_argument("--modules", type=int, default=4,
+                                help="number of SIMDRAM modules")
+    cluster_parser.add_argument("--op", default="add",
+                                choices=sorted(CATALOG))
+    cluster_parser.add_argument("--width", type=int, default=8)
+    cluster_parser.add_argument("--n", type=int, default=4096,
+                                help="elements in the input vectors")
+    cluster_parser.add_argument("--cols", type=int, default=128,
+                                help="SIMD lanes per bank")
+    cluster_parser.add_argument("--data-rows", type=int, default=256,
+                                help="D-group rows per module (small "
+                                     "values exercise the paging layer)")
+    cluster_parser.add_argument("--banks", type=int, default=2)
+    cluster_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -115,6 +185,7 @@ _HANDLERS = {
     "compile": _cmd_compile,
     "compare": _cmd_compare,
     "demo": _cmd_demo,
+    "cluster": _cmd_cluster,
 }
 
 

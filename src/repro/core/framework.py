@@ -44,7 +44,7 @@ from repro.dram.commands import CommandStats
 from repro.dram.energy import DramEnergy
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DramTiming
-from repro.errors import OperationError
+from repro.errors import ExecutionError, OperationError
 from repro.exec.control_unit import ControlUnit, ProgramKey
 from repro.exec.layout import RowLayout
 from repro.exec.memory import RowBlock, VerticalAllocator
@@ -69,7 +69,14 @@ class SimdramConfig:
 
 
 class SimdramArray:
-    """A handle to a vertically laid-out vector resident in DRAM."""
+    """A handle to a vertically laid-out vector resident in DRAM.
+
+    A handle is ``"live"`` until its rows are released: explicitly
+    through :meth:`free`, or by the runtime's paging layer, which marks
+    the handle ``"evicted"`` after spilling its bits to host memory.
+    Reading a non-live handle raises :class:`~repro.errors.ExecutionError`
+    instead of returning whatever now occupies the rows.
+    """
 
     def __init__(self, framework: "Simdram", block: RowBlock,
                  n_elements: int, width: int, signed: bool) -> None:
@@ -78,18 +85,29 @@ class SimdramArray:
         self.n_elements = n_elements
         self.width = width
         self.signed = signed
-        self._freed = False
+        self.status = "live"  # "live" | "freed" | "evicted"
 
     def to_numpy(self) -> np.ndarray:
         """Read the vector back to the host (through the transposer)."""
         return self._framework.read(self)
 
+    def require_live(self) -> None:
+        """Raise unless this handle still owns its rows."""
+        if self.status != "live":
+            raise ExecutionError(
+                f"array at rows [{self.block.base}, {self.block.end}) "
+                f"is {self.status}; its rows may hold unrelated data")
+
     def free(self) -> None:
-        """Release the underlying row block and its tracker entry."""
-        if not self._freed:
+        """Release the underlying row block and its tracker entry.
+
+        Idempotent: freeing an already-freed or evicted handle is a
+        no-op (an evicted handle's rows were released at eviction).
+        """
+        if self.status == "live":
             self._framework.tracker.release(self.block.base)
             self._framework._allocator.free(self.block)
-            self._freed = True
+        self.status = "freed"
 
     def __len__(self) -> int:
         return self.n_elements
@@ -97,7 +115,8 @@ class SimdramArray:
     def __repr__(self) -> str:
         sign = "i" if self.signed else "u"
         return (f"SimdramArray({self.n_elements} x {sign}{self.width}, "
-                f"rows [{self.block.base}, {self.block.end}))")
+                f"rows [{self.block.base}, {self.block.end}), "
+                f"{self.status})")
 
 
 class Simdram:
@@ -166,6 +185,30 @@ class Simdram:
             self._fused[key] = kernel
         return kernel
 
+    def adopt_program(self, program: MicroProgram,
+                      backend: str | None = None) -> None:
+        """Install an externally compiled µProgram into this module.
+
+        µPrograms are symbolic (geometry-independent), so a cluster
+        compiles each operation once and adopts the same program into
+        every member module's scratchpad instead of re-running steps
+        1+2 per module.  No-op if an identical program is installed.
+        """
+        backend = backend or program.backend
+        key = (program.op_name, program.element_width, backend)
+        if self._programs.get(key) is not program:
+            self.control.install(program)
+            self._programs[key] = program
+
+    def adopt_kernel(self, cache_key: tuple[str, int, str],
+                     kernel: FusedKernel) -> None:
+        """Install an externally compiled fused kernel (see
+        :meth:`adopt_program`); ``cache_key`` is ``(dag_hash, width,
+        backend)``, matching :meth:`compile_expr`'s cache."""
+        if self._fused.get(cache_key) is not kernel:
+            self.control.install(kernel.program)
+            self._fused[cache_key] = kernel
+
     def register_operation(self, name: str, arity: int, build: BuildFn,
                            golden: GoldenFn, category: str = "user",
                            description: str = "user-defined operation",
@@ -214,9 +257,29 @@ class Simdram:
 
     def read(self, array: SimdramArray) -> np.ndarray:
         """Read a vertical vector back into host (horizontal) layout."""
+        array.require_live()
         return self.transposer.vertical_to_host(
             self.module, array.block, array.n_elements, array.width,
             signed=array.signed)
+
+    def spill(self, array: SimdramArray,
+              stats: CommandStats | None = None) -> np.ndarray:
+        """Evict an array: read its values out and release its rows.
+
+        The paging layer's eviction primitive.  The handle transitions
+        to ``"evicted"`` (subsequent reads raise), its rows return to
+        the allocator, and the returned host vector round-trips
+        bit-exactly through :meth:`array` on fault-in.  ``stats``
+        receives the spill accounting when provided.
+        """
+        array.require_live()
+        values = self.transposer.spill(
+            self.module, array.block, array.n_elements, array.width,
+            signed=array.signed, stats=stats)
+        self.tracker.release(array.block.base)
+        self._allocator.free(array.block)
+        array.status = "evicted"
+        return values
 
     # ------------------------------------------------------------------
     # in-DRAM bulk copy / initialization (RowClone, paper §2)
@@ -233,6 +296,7 @@ class Simdram:
         copy represents the same value under the same encoding.
         """
         self.tracker.lookup(array.block.base)
+        array.require_live()
         out = self.empty(array.n_elements, array.width,
                          signed=array.signed if signed is None else signed)
         from repro.dram.rows import data_row
@@ -296,6 +360,7 @@ class Simdram:
             raise OperationError(f"shift amount must be >= 0, "
                                  f"got {amount}")
         self.tracker.lookup(array.block.base)
+        array.require_live()
         out = self.empty(array.n_elements, array.width,
                          signed=array.signed if signed is None else signed)
         for bit in range(array.width):
@@ -348,8 +413,11 @@ class Simdram:
                 f"{[o.n_elements for o in operands]}")
         for operand in operands:
             # The control unit only computes on announced vertical
-            # objects (stale handles are caught here).
+            # objects; the tracker catches stale base rows, and
+            # require_live catches freed handles whose rows were
+            # re-allocated (the tracker would find the new occupant).
             self.tracker.lookup(operand.block.base)
+            operand.require_live()
 
         program = self.compile(op_name, width, backend)
         out = self.empty(n_elements, spec.out_width(width),
@@ -436,6 +504,7 @@ class Simdram:
                 f"{[o.n_elements for o in operands]}")
         for operand in operands:
             self.tracker.lookup(operand.block.base)
+            operand.require_live()
         out = self.empty(n_elements, kernel.out_width,
                          signed=kernel.signed)
         return self._dispatch(kernel.program, operands, out, n_elements,

@@ -31,6 +31,15 @@ class CommandStats:
     #: Host row reads/writes through the normal datapath (transposition).
     host_bits_read: int = 0
     host_bits_written: int = 0
+    #: Paging traffic (runtime eviction layer): logical operand bits
+    #: spilled to host and filled back.  Spill/fill moves through the
+    #: transposition unit, so the raw channel traffic is *also* counted
+    #: in ``host_bits_read``/``host_bits_written`` at the subarray; these
+    #: counters exist so paging pressure is observable on its own.
+    n_spills: int = 0
+    n_fills: int = 0
+    spill_bits: int = 0
+    fill_bits: int = 0
 
     def record_ap(self, n_wordlines: int) -> None:
         """Account one AP command activating ``n_wordlines`` rows."""
@@ -42,6 +51,16 @@ class CommandStats:
         self.n_aap += 1
         self.aap_src_wordlines += src_wordlines
         self.aap_dst_wordlines += dst_wordlines
+
+    def record_spill(self, bits: int) -> None:
+        """Account one shard eviction of ``bits`` operand bits."""
+        self.n_spills += 1
+        self.spill_bits += bits
+
+    def record_fill(self, bits: int) -> None:
+        """Account one shard fault-in of ``bits`` operand bits."""
+        self.n_fills += 1
+        self.fill_bits += bits
 
     @property
     def n_commands(self) -> int:
@@ -83,6 +102,10 @@ class CommandStats:
         self.aap_dst_wordlines += other.aap_dst_wordlines
         self.host_bits_read += other.host_bits_read
         self.host_bits_written += other.host_bits_written
+        self.n_spills += other.n_spills
+        self.n_fills += other.n_fills
+        self.spill_bits += other.spill_bits
+        self.fill_bits += other.fill_bits
 
     def merged_with(self, other: "CommandStats") -> "CommandStats":
         """Return a new stats object combining both operands."""
@@ -97,6 +120,10 @@ class CommandStats:
             host_bits_read=self.host_bits_read + other.host_bits_read,
             host_bits_written=(self.host_bits_written
                                + other.host_bits_written),
+            n_spills=self.n_spills + other.n_spills,
+            n_fills=self.n_fills + other.n_fills,
+            spill_bits=self.spill_bits + other.spill_bits,
+            fill_bits=self.fill_bits + other.fill_bits,
         )
 
     def scaled(self, factor: int) -> "CommandStats":
@@ -109,6 +136,10 @@ class CommandStats:
             aap_dst_wordlines=self.aap_dst_wordlines * factor,
             host_bits_read=self.host_bits_read * factor,
             host_bits_written=self.host_bits_written * factor,
+            n_spills=self.n_spills * factor,
+            n_fills=self.n_fills * factor,
+            spill_bits=self.spill_bits * factor,
+            fill_bits=self.fill_bits * factor,
         )
 
 

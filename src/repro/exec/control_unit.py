@@ -19,6 +19,7 @@ Replay has two equivalent engines:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -60,6 +61,10 @@ class ControlUnit:
         self.plan_cache_size = plan_cache_size
         self._programs: dict[ProgramKey, MicroProgram] = {}
         self._plan_cache: OrderedDict[tuple, ExecutionPlan] = OrderedDict()
+        # The runtime's async scheduler may install programs from the
+        # submitting thread while a module worker replays others; the
+        # scratchpad and plan cache are the only shared mutable state.
+        self._lock = threading.Lock()
         #: Plan-cache observability (tests, benchmarks).
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -71,15 +76,16 @@ class ControlUnit:
         """Install a µProgram into the scratchpad (checks capacity)."""
         key = ProgramKey(program.op_name, program.element_width,
                          program.backend)
-        used = self.used_uops()
-        existing = self._programs.get(key)
-        if existing is not None:  # reinstalling replaces the old copy
-            used -= len(existing.uops)
-        if used + len(program.uops) > self.scratchpad_uops:
-            raise ExecutionError(
-                f"µProgram scratchpad overflow: {used} + "
-                f"{len(program.uops)} µOps > {self.scratchpad_uops}")
-        self._programs[key] = program
+        with self._lock:
+            used = self.used_uops()
+            existing = self._programs.get(key)
+            if existing is not None:  # reinstalling replaces the old copy
+                used -= len(existing.uops)
+            if used + len(program.uops) > self.scratchpad_uops:
+                raise ExecutionError(
+                    f"µProgram scratchpad overflow: {used} + "
+                    f"{len(program.uops)} µOps > {self.scratchpad_uops}")
+            self._programs[key] = program
         return key
 
     def used_uops(self) -> int:
@@ -130,16 +136,18 @@ class ControlUnit:
         key = (ProgramKey(program.op_name, program.element_width,
                           program.backend),
                program.fingerprint(), layout.cache_key(), geometry)
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            self._plan_cache.move_to_end(key)
-            self.plan_cache_hits += 1
-            return plan
-        self.plan_cache_misses += 1
+        with self._lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_hits += 1
+                return plan
+            self.plan_cache_misses += 1
         plan = compile_plan(program, layout, geometry)
-        self._plan_cache[key] = plan
-        while len(self._plan_cache) > self.plan_cache_size:
-            self._plan_cache.popitem(last=False)
+        with self._lock:
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
         return plan
 
     def execute_on_module(self, program: MicroProgram, module: DramModule,

@@ -6,12 +6,23 @@ occupies one column across ``n`` consecutive rows, so a vector of up to
 hands out non-overlapping row blocks inside a subarray's D-group, which
 is how the framework lays out operation inputs, outputs and the
 compiler's temporary region before building a :class:`RowLayout`.
+
+The allocator is also the pressure point of the runtime's paging layer
+(:mod:`repro.runtime.paging`): when no contiguous extent can satisfy a
+request, :meth:`VerticalAllocator.alloc` invokes the installed
+``reclaim`` hook, which may evict cold device-resident shards to host
+memory and return ``True`` to retry.  Long-lived sessions therefore
+churn this allocator hard, which is why :meth:`free` coalesces adjacent
+extents with a bisect insert-merge instead of re-sorting the whole free
+list on every release.
 """
 
 from __future__ import annotations
 
+import bisect
 import contextlib
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.dram.geometry import DramGeometry
 from repro.errors import AllocationError
@@ -30,17 +41,46 @@ class RowBlock:
 
 
 class VerticalAllocator:
-    """First-fit allocator over a subarray's D-group rows."""
+    """First-fit allocator over a subarray's D-group rows.
 
-    def __init__(self, geometry: DramGeometry) -> None:
+    ``reclaim`` (optional, installable after construction through
+    :meth:`set_reclaim`) is called as ``reclaim(width)`` when no free
+    extent can hold ``width`` rows; it should release rows (e.g. by
+    spilling cold shards) and return whether it made progress.  ``alloc``
+    retries after every successful reclaim and only raises once the hook
+    is exhausted.
+    """
+
+    def __init__(self, geometry: DramGeometry,
+                 reclaim: Callable[[int], bool] | None = None) -> None:
         self.geometry = geometry
         self._free: list[tuple[int, int]] = [(0, geometry.data_rows)]
         self._allocated: dict[int, RowBlock] = {}
+        self._reclaim = reclaim
+
+    def set_reclaim(self, reclaim: Callable[[int], bool] | None) -> None:
+        """Install (or clear) the memory-pressure hook."""
+        self._reclaim = reclaim
 
     def alloc(self, width: int) -> RowBlock:
-        """Allocate ``width`` consecutive rows; first fit."""
+        """Allocate ``width`` consecutive rows; first fit.
+
+        Under pressure the installed ``reclaim`` hook is invoked until
+        either an extent opens up or the hook reports no progress.
+        """
         if width < 1:
             raise AllocationError(f"block width must be >= 1, got {width}")
+        while True:
+            block = self._try_alloc(width)
+            if block is not None:
+                return block
+            if self._reclaim is None or not self._reclaim(width):
+                raise AllocationError(
+                    f"cannot allocate {width} rows: "
+                    f"{self.free_rows()} free (fragmented into "
+                    f"{len(self._free)} extents)")
+
+    def _try_alloc(self, width: int) -> RowBlock | None:
         for i, (base, size) in enumerate(self._free):
             if size >= width:
                 block = RowBlock(base, width)
@@ -51,24 +91,33 @@ class VerticalAllocator:
                     del self._free[i]
                 self._allocated[block.base] = block
                 return block
-        raise AllocationError(
-            f"cannot allocate {width} rows: "
-            f"{self.free_rows()} free (fragmented into "
-            f"{len(self._free)} extents)")
+        return None
 
     def free(self, block: RowBlock) -> None:
-        """Return a block to the free list (coalescing neighbours)."""
+        """Return a block to the free list (coalescing neighbours).
+
+        The free list is kept sorted by base, so the released extent is
+        bisect-inserted and merged with at most two neighbours — O(log n)
+        search plus one splice, instead of re-sorting the entire list.
+        Adjacent free extents therefore never coexist, and a workload
+        that frees what it allocated always recovers contiguity.
+        """
         stored = self._allocated.pop(block.base, None)
         if stored != block:
             raise AllocationError(f"block {block} is not allocated")
-        extents = sorted(self._free + [(block.base, block.width)])
-        merged: list[tuple[int, int]] = []
-        for base, size in extents:
-            if merged and merged[-1][0] + merged[-1][1] == base:
-                merged[-1] = (merged[-1][0], merged[-1][1] + size)
-            else:
-                merged.append((base, size))
-        self._free = merged
+        i = bisect.bisect_left(self._free, (block.base, block.width))
+        start, size = block.base, block.width
+        merge_lo = i > 0 and sum(self._free[i - 1]) == start
+        merge_hi = (i < len(self._free)
+                    and self._free[i][0] == start + size)
+        if merge_lo:
+            start = self._free[i - 1][0]
+            size += self._free[i - 1][1]
+        if merge_hi:
+            size += self._free[i][1]
+        lo = i - 1 if merge_lo else i
+        hi = i + 1 if merge_hi else i
+        self._free[lo:hi] = [(start, size)]
 
     @contextlib.contextmanager
     def reserve(self, width: int):
@@ -88,6 +137,15 @@ class VerticalAllocator:
     def free_rows(self) -> int:
         """Total unallocated rows."""
         return sum(size for _, size in self._free)
+
+    def largest_free(self) -> int:
+        """Largest contiguous free extent (0 when fully allocated)."""
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def free_extents(self) -> list[tuple[int, int]]:
+        """Sorted ``(base, size)`` free extents (read-only snapshot)."""
+        return list(self._free)
 
     @property
     def allocated_blocks(self) -> list[RowBlock]:

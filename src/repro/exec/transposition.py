@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dram.bank import DramModule
+from repro.dram.commands import CommandStats
 from repro.dram.energy import DramEnergy
 from repro.dram.rows import data_row
 from repro.dram.timing import DramTiming
@@ -105,3 +106,31 @@ class TranspositionUnit:
         if signed:
             return to_signed(values, width)
         return values
+
+    # ------------------------------------------------------------------
+    # paging support (runtime eviction layer)
+    # ------------------------------------------------------------------
+    def spill(self, module: DramModule, block: RowBlock, n_elements: int,
+              width: int, signed: bool = False,
+              stats: "CommandStats | None" = None) -> np.ndarray:
+        """Evict a vertical operand to host memory.
+
+        Functionally a :meth:`vertical_to_host` read; the raw channel
+        traffic lands in the subarrays' host-I/O counters as usual, and
+        the eviction itself is recorded in ``stats`` (one spill of
+        ``n_elements * width`` logical bits) so paging pressure is
+        observable separately from ordinary transposition.
+        """
+        values = self.vertical_to_host(module, block, n_elements, width,
+                                       signed=signed)
+        if stats is not None:
+            stats.record_spill(n_elements * width)
+        return values
+
+    def fill(self, module: DramModule, block: RowBlock,
+             values: np.ndarray, width: int,
+             stats: "CommandStats | None" = None) -> None:
+        """Fault a spilled operand back into a vertical row block."""
+        self.host_to_vertical(module, block, values, width)
+        if stats is not None:
+            stats.record_fill(len(values) * width)

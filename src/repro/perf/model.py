@@ -56,6 +56,44 @@ class PimSystemModel:
     def lanes(self, n_banks: int) -> int:
         return self.geometry.lanes(n_banks)
 
+    def measure_paged(self, program: MicroProgram, n_banks: int = 1,
+                      spill_bits_per_element: float = 0.0,
+                      fill_bits_per_element: float = 0.0
+                      ) -> PlatformMeasure:
+        """Throughput/energy of a µProgram whose working set pages.
+
+        The runtime's eviction layer moves spilled shards through the
+        transposition unit at channel bandwidth, so a workload whose
+        working set exceeds DRAM capacity pays ``spill + fill`` channel
+        traffic per processed element on top of the in-DRAM command
+        stream.  ``*_bits_per_element`` are the *average* paging bits
+        each element causes (measure them with
+        :meth:`repro.runtime.SimdramCluster.paging_stats`); at 0 this
+        reduces exactly to :meth:`measure`.
+        """
+        if spill_bits_per_element < 0 or fill_bits_per_element < 0:
+            raise ConfigError("paging traffic must be >= 0 bits/element")
+        base = self.measure(program, n_banks)
+        elements = self.lanes(n_banks)
+        bits_per_element = (spill_bits_per_element
+                            + fill_bits_per_element)
+        # Latency: every participating bank's paging traffic crosses
+        # the one shared channel, so the batch pays for all elements.
+        paging_bits = bits_per_element * elements
+        io_ns = ((paging_bits + 7) // 8) * self.timing.io_ns_per_byte()
+        latency_ns = program.latency_ns(self.timing) + io_ns
+        # Energy: per-element energy stays bank-count invariant (the
+        # measure() contract) — each element pays for its own bits.
+        return PlatformMeasure(
+            platform=f"{base.platform}:paged",
+            op_name=base.op_name,
+            element_width=base.element_width,
+            throughput_gops=elements / latency_ns,
+            energy_nj_per_element=(base.energy_nj_per_element
+                                   + self.energy.io_nj(
+                                       bits_per_element)),
+        )
+
     def measure(self, program: MicroProgram,
                 n_banks: int = 1) -> PlatformMeasure:
         """Throughput/energy of one µProgram at ``n_banks`` parallelism.

@@ -1,0 +1,44 @@
+"""The sharded multi-module runtime (system layer above one ``Simdram``).
+
+The paper evaluates SIMDRAM at 1/4/16 banks and frames the design as a
+*system*: a programming interface, an allocator and a control unit that
+keep many in-DRAM operations in flight.  This package is that system
+layer for the reproduction:
+
+* :class:`SimdramCluster` owns N independent :class:`~repro.Simdram`
+  modules (think channels) and shards work across them;
+* :class:`DeviceTensor` keeps host vectors of arbitrary length resident
+  in DRAM between operations, sharded across the cluster's modules;
+* :class:`~repro.runtime.paging.PagingManager` spills cold shards to
+  host memory when a module's subarray rows run out and faults them
+  back on next use, so working sets larger than DRAM capacity run
+  instead of raising;
+* :class:`~repro.runtime.scheduler.JobScheduler` tracks read/write
+  dependencies per tensor and runs independent jobs on different
+  modules concurrently while serializing conflicting ones.
+
+Typical use::
+
+    from repro.runtime import SimdramCluster
+
+    cluster = SimdramCluster(n_modules=4)
+    a = cluster.tensor(host_a, width=8)
+    b = cluster.tensor(host_b, width=8)
+    total = cluster.run("add", a, b)      # sharded across 4 modules
+    print(total.to_numpy())
+"""
+
+from repro.runtime.cluster import JobHandle, SimdramCluster
+from repro.runtime.paging import PagingManager
+from repro.runtime.scheduler import JobScheduler
+from repro.runtime.tensor import DeviceTensor, TensorShard, plan_shards
+
+__all__ = [
+    "SimdramCluster",
+    "JobHandle",
+    "DeviceTensor",
+    "TensorShard",
+    "plan_shards",
+    "PagingManager",
+    "JobScheduler",
+]

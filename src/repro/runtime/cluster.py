@@ -1,0 +1,545 @@
+"""``SimdramCluster``: N independent SIMDRAM modules behind one API.
+
+The cluster is the runtime's facade.  It mirrors the single-module
+:class:`~repro.Simdram` programming interface — ``run`` over the
+catalog, ``run_expr`` over fused expression DAGs, ``map`` streaming
+over host vectors — but operands are :class:`DeviceTensor` objects
+sharded across the member modules, operations dispatch per shard to
+the module already holding it, and every operation goes through the
+:class:`~repro.runtime.scheduler.JobScheduler`, so ``submit`` gives the
+same semantics asynchronously.
+
+Compilation happens once per (operation, width, backend) at the cluster
+level; every module *adopts* the same µProgram into its control unit,
+and each module's plan/kernel caches then work exactly as in the
+single-module system.
+
+Each module also keeps a modeled busy-time clock (command latency plus
+channel I/O for transposition and paging, in simulated nanoseconds).
+Modules are independent channels, so the cluster's modeled makespan is
+the *maximum* per-module busy time — the quantity the scaling
+benchmarks gate on.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.compiler import compile_operation
+from repro.core.expr import Expr, dag_hash
+from repro.core.framework import Simdram, SimdramConfig
+from repro.core.fuse import FusedKernel
+from repro.core.fuse import compile_expr as _compile_expr
+from repro.core.operations import get_operation
+from repro.dram.commands import CommandStats
+from repro.errors import OperationError
+from repro.runtime.paging import PagingManager
+from repro.runtime.scheduler import JobScheduler, Subtask
+from repro.runtime.tensor import DeviceTensor, TensorShard, plan_shards
+from repro.uprog.program import MicroProgram
+
+
+@dataclass
+class JobHandle:
+    """An asynchronously running cluster operation.
+
+    ``tensor`` is the operation's output handle (usable immediately as
+    an operand of further submissions — the scheduler orders them);
+    ``future`` resolves when the job has executed on every shard.
+    """
+
+    future: Future
+    tensor: DeviceTensor
+
+    def result(self, timeout: float | None = None) -> DeviceTensor:
+        """Wait for completion (re-raising failures); returns the
+        output tensor."""
+        self.future.result(timeout)
+        return self.tensor
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class SimdramCluster:
+    """N SIMDRAM modules, device-resident tensors, paging, async jobs."""
+
+    def __init__(self, n_modules: int = 4,
+                 config: SimdramConfig | None = None,
+                 seed: int | None = 1) -> None:
+        if n_modules < 1:
+            raise OperationError(
+                f"a cluster needs >= 1 module, got {n_modules}")
+        self.config = config or SimdramConfig()
+        self.modules = [
+            Simdram(self.config,
+                    seed=None if seed is None else seed + i)
+            for i in range(n_modules)
+        ]
+        self.pagers = [PagingManager(sim) for sim in self.modules]
+        self.scheduler = JobScheduler(n_modules)
+        self._programs: dict[tuple[str, int, str], MicroProgram] = {}
+        self._kernels: dict[tuple[str, int, str], FusedKernel] = {}
+        #: Modeled busy time per module, simulated nanoseconds.  Only
+        #: the module's own worker thread writes its entry.
+        self.busy_ns = [0.0] * n_modules
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_modules(self) -> int:
+        return len(self.modules)
+
+    @property
+    def lanes_per_module(self) -> int:
+        return self.modules[0].module.lanes
+
+    @property
+    def lanes(self) -> int:
+        """Total SIMD lanes across the cluster."""
+        return self.lanes_per_module * self.n_modules
+
+    # ------------------------------------------------------------------
+    # cluster-level compilation (shared across modules)
+    # ------------------------------------------------------------------
+    def compile(self, op_name: str, width: int,
+                backend: str | None = None) -> MicroProgram:
+        """Compile once; member modules adopt the program on dispatch."""
+        backend = backend or self.config.backend
+        key = (op_name, width, backend)
+        program = self._programs.get(key)
+        if program is None:
+            options = (self.config.schedule if backend == "simdram"
+                       else None)
+            program = compile_operation(
+                get_operation(op_name), width, backend=backend,
+                options=options, optimize_mig=self.config.optimize_mig)
+            self._programs[key] = program
+        return program
+
+    def compile_expr(self, root: Expr, width: int,
+                     backend: str | None = None
+                     ) -> tuple[tuple[str, int, str], FusedKernel]:
+        """Compile a fused kernel once; returns its cache key too (the
+        key modules adopt it under)."""
+        backend = backend or self.config.backend
+        key = (dag_hash(root), width, backend)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            options = (self.config.schedule if backend == "simdram"
+                       else None)
+            kernel = _compile_expr(
+                root, width, backend=backend, options=options,
+                optimize_mig=self.config.optimize_mig)
+            self._kernels[key] = kernel
+        return key, kernel
+
+    # ------------------------------------------------------------------
+    # modeled time accounting (worker-thread confined per module)
+    # ------------------------------------------------------------------
+    def _account(self, module_index: int,
+                 before: CommandStats) -> None:
+        sim = self.modules[module_index]
+        after = sim.module.total_stats()
+        timing = self.config.timing
+        banks = sim.config.geometry.banks
+        # Banks execute in lockstep: latency is the per-bank stream.
+        compute_ns = (((after.n_ap - before.n_ap) // banks)
+                      * timing.ap_ns
+                      + ((after.n_aap - before.n_aap) // banks)
+                      * timing.aap_ns)
+        bits = ((after.host_bits_read - before.host_bits_read)
+                + (after.host_bits_written - before.host_bits_written))
+        io_ns = ((bits + 7) // 8) * timing.io_ns_per_byte()
+        self.busy_ns[module_index] += compute_ns + io_ns
+
+    def makespan_ns(self) -> float:
+        """Modeled wall time so far: modules are independent channels,
+        so the cluster finishes when its busiest module does."""
+        return max(self.busy_ns)
+
+    def paging_stats(self) -> CommandStats:
+        """Merged spill/fill accounting across all modules."""
+        total = CommandStats()
+        for pager in self.pagers:
+            total = total.merged_with(pager.stats)
+        return total
+
+    def total_stats(self) -> CommandStats:
+        """Merged DRAM command statistics across all modules."""
+        total = CommandStats()
+        for sim in self.modules:
+            total = total.merged_with(sim.module.total_stats())
+        return total.merged_with(self.paging_stats())
+
+    # ------------------------------------------------------------------
+    # tensors
+    # ------------------------------------------------------------------
+    def tensor(self, values, width: int,
+               signed: bool = False) -> DeviceTensor:
+        """Shard a host vector across the cluster and load it into DRAM
+        (asynchronously; the returned handle is usable immediately)."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise OperationError(
+                "SimdramCluster.tensor expects a 1-D vector")
+        chunks = plan_shards(len(values), self.n_modules,
+                             self.lanes_per_module)
+        shards = [TensorShard(m, offset, count, width, signed)
+                  for m, offset, count in chunks]
+        tensor = DeviceTensor(self, shards, len(values), width, signed)
+
+        def load(shard: TensorShard,
+                 chunk: np.ndarray) -> None:
+            sim = self.modules[shard.module_index]
+            pager = self.pagers[shard.module_index]
+            before = sim.module.total_stats()
+            shard.array = sim.array(chunk, shard.width,
+                                    signed=shard.signed)
+            pager.register(shard)
+            self._account(shard.module_index, before)
+
+        # Snapshot each chunk now: the load runs asynchronously, and a
+        # caller mutating its array after tensor() returns must not
+        # race with the deferred transpose-in.
+        subtasks: list[Subtask] = [
+            (shard.module_index,
+             (lambda s=shard,
+              c=values[shard.offset:shard.offset
+                       + shard.n_elements].copy():
+              load(s, c)))
+            for shard in shards
+        ]
+        self.scheduler.submit(subtasks, writes=[tensor],
+                              label=f"load[{len(values)}]")
+        return tensor
+
+    def read_tensor(self, tensor: DeviceTensor) -> np.ndarray:
+        """Gather a tensor to the host, after all pending producers."""
+        tensor.require_live()
+
+        def gather(shard: TensorShard) -> np.ndarray:
+            pager = self.pagers[shard.module_index]
+            if shard.resident:
+                pager.touch(shard)
+                sim = self.modules[shard.module_index]
+                before = sim.module.total_stats()
+                chunk = sim.read(shard.array)
+                self._account(shard.module_index, before)
+                return chunk
+            if shard.host is None:
+                # A producing job failed before materializing this
+                # shard; surface it through the dependency chain.
+                raise OperationError(f"{shard!r} was never materialized")
+            return shard.host.copy()
+
+        subtasks: list[Subtask] = [
+            (shard.module_index, (lambda s=shard: gather(s)))
+            for shard in tensor.shards
+        ]
+        future = self.scheduler.submit(
+            subtasks, reads=[tensor], finalizer=np.concatenate,
+            label=f"gather[{tensor.n_elements}]")
+        return future.result()
+
+    def free_tensor(self, tensor: DeviceTensor) -> None:
+        """Release a tensor's shards, ordered after every outstanding
+        job that touches it (idempotent)."""
+        if tensor.status != "live":
+            return
+        tensor.status = "freed"
+
+        def release(shard: TensorShard) -> None:
+            pager = self.pagers[shard.module_index]
+            pager.unregister(shard)
+            if shard.array is not None:
+                shard.array.free()
+                shard.array = None
+            shard.host = None
+
+        subtasks: list[Subtask] = [
+            (shard.module_index, (lambda s=shard: release(s)))
+            for shard in tensor.shards
+        ]
+        self.scheduler.submit(subtasks, writes=[tensor],
+                              label=f"free[{tensor.n_elements}]")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def submit(self, op: "str | Expr", *tensors: DeviceTensor,
+               feeds: dict[str, DeviceTensor] | None = None,
+               width: int | None = None, backend: str | None = None,
+               engine: str = "auto") -> JobHandle:
+        """Queue an operation; returns immediately with a handle.
+
+        ``op`` is a catalog operation name (positional ``tensors``
+        operands) or an :class:`Expr` DAG (``feeds`` binding).  The
+        output tensor is usable as an operand of further submissions
+        right away — the scheduler serializes dependent jobs and runs
+        independent ones concurrently across modules.
+        """
+        if isinstance(op, Expr):
+            if tensors:
+                raise OperationError(
+                    "expression jobs bind operands via feeds=")
+            return self._submit_expr(op, feeds or {}, width=width,
+                                     backend=backend, engine=engine)
+        if feeds is not None:
+            raise OperationError(
+                "catalog operations take positional operands")
+        return self._submit_run(op, tensors, backend=backend,
+                                engine=engine)
+
+    def run(self, op_name: str, *operands: DeviceTensor,
+            backend: str | None = None,
+            engine: str = "auto") -> DeviceTensor:
+        """Synchronous :meth:`submit` over the catalog: waits for the
+        sharded execution and returns the output tensor."""
+        return self._submit_run(op_name, operands, backend=backend,
+                                engine=engine).result()
+
+    def run_expr(self, root: Expr, feeds: dict[str, DeviceTensor],
+                 *, width: int | None = None, backend: str | None = None,
+                 engine: str = "auto") -> DeviceTensor:
+        """Synchronous fused-expression execution across the cluster."""
+        return self._submit_expr(root, feeds, width=width,
+                                 backend=backend,
+                                 engine=engine).result()
+
+    def _aligned_shards(self, operands: Sequence[DeviceTensor],
+                        what: str) -> None:
+        lengths = [t.n_elements for t in operands]
+        if any(n != lengths[0] for n in lengths):
+            raise OperationError(
+                f"{what}: operand lengths differ: {lengths}")
+        layout = operands[0].sharding()
+        if any(t.sharding() != layout for t in operands):
+            raise OperationError(
+                f"{what}: operands are sharded differently; create "
+                "them on the same cluster with the same length")
+
+    def _submit_run(self, op_name: str,
+                    operands: tuple[DeviceTensor, ...],
+                    backend: str | None, engine: str) -> JobHandle:
+        spec = get_operation(op_name)
+        if len(operands) != spec.arity:
+            raise OperationError(
+                f"{op_name} takes {spec.arity} operands, "
+                f"got {len(operands)}")
+        for tensor in operands:
+            tensor.require_live()
+        width = operands[-1].width
+        for i, (tensor, expected) in enumerate(
+                zip(operands, spec.in_widths(width))):
+            if tensor.width != expected:
+                raise OperationError(
+                    f"{op_name} operand {i} must be {expected}-bit, "
+                    f"got {tensor.width}-bit")
+        self._aligned_shards(operands, op_name)
+        program = self.compile(op_name, width, backend)
+        out = self._empty_like(operands[0], spec.out_width(width),
+                               spec.signed)
+
+        def run_shard(index: int) -> None:
+            sim = self.modules[out.shards[index].module_index]
+
+            def execute(arrays):
+                sim.adopt_program(program)
+                return sim.run(op_name, *arrays, backend=backend,
+                               engine=engine)
+
+            self._run_on_module(
+                sim, [t.shards[index] for t in operands],
+                out.shards[index], execute)
+
+        return self._submit_shard_jobs(out, operands, run_shard,
+                                       label=f"{op_name}@{width}")
+
+    def _submit_expr(self, root: Expr, feeds: dict[str, DeviceTensor],
+                     width: int | None, backend: str | None,
+                     engine: str) -> JobHandle:
+        if not feeds:
+            raise OperationError(
+                "run_expr needs at least one input tensor")
+        for tensor in feeds.values():
+            tensor.require_live()
+        if width is None:
+            width = max(t.width for t in feeds.values())
+        key, kernel = self.compile_expr(root, width, backend)
+        names = list(kernel.input_names)
+        missing = set(names) - set(feeds)
+        extra = set(feeds) - set(names)
+        if missing or extra:
+            raise OperationError(
+                f"fused expression inputs are {sorted(names)}"
+                + (f"; missing {sorted(missing)}" if missing else "")
+                + (f"; unexpected {sorted(extra)}" if extra else ""))
+        operands = tuple(feeds[name] for name in names)
+        for name, tensor, expected in zip(names, operands,
+                                          kernel.input_widths):
+            if tensor.width != expected:
+                raise OperationError(
+                    f"fused input {name!r} must be {expected}-bit, "
+                    f"got {tensor.width}-bit")
+        self._aligned_shards(operands, "fused expression")
+        out = self._empty_like(operands[0], kernel.out_width,
+                               kernel.signed)
+
+        def run_shard(index: int) -> None:
+            sim = self.modules[out.shards[index].module_index]
+
+            def execute(arrays):
+                sim.adopt_kernel(key, kernel)
+                return sim.run_expr(root, dict(zip(names, arrays)),
+                                    width=width, backend=backend,
+                                    engine=engine)
+
+            self._run_on_module(
+                sim, [t.shards[index] for t in operands],
+                out.shards[index], execute)
+
+        return self._submit_shard_jobs(out, operands, run_shard,
+                                       label=f"expr@{width}")
+
+    def _empty_like(self, template: DeviceTensor, width: int,
+                    signed: bool) -> DeviceTensor:
+        shards = [TensorShard(s.module_index, s.offset, s.n_elements,
+                              width, signed)
+                  for s in template.shards]
+        return DeviceTensor(self, shards, template.n_elements, width,
+                            signed)
+
+    def _run_on_module(self, sim: Simdram,
+                       in_shards: list[TensorShard],
+                       out_shard: TensorShard, execute) -> None:
+        """Shared per-shard body: fault operands in, pin everything the
+        operation touches, execute, adopt the output into the pager."""
+        module_index = out_shard.module_index
+        pager = self.pagers[module_index]
+        before = sim.module.total_stats()
+        with pager.pinning([*in_shards, out_shard]):
+            for shard in in_shards:
+                pager.ensure_resident(shard)
+            result = execute([shard.array for shard in in_shards])
+            result.signed = out_shard.signed
+            out_shard.array = result
+            pager.register(out_shard)
+        self._account(module_index, before)
+
+    def _submit_shard_jobs(self, out: DeviceTensor,
+                           operands: Sequence[DeviceTensor],
+                           run_shard, label: str) -> JobHandle:
+        subtasks: list[Subtask] = [
+            (shard.module_index, (lambda i=index: run_shard(i)))
+            for index, shard in enumerate(out.shards)
+        ]
+        # Operands may repeat (e.g. run("add", a, a)); dedupe reads.
+        reads = list({id(t): t for t in operands}.values())
+        future = self.scheduler.submit(subtasks, reads=reads,
+                                       writes=[out], label=label)
+        return JobHandle(future, out)
+
+    # ------------------------------------------------------------------
+    # streaming execution over host vectors of any length
+    # ------------------------------------------------------------------
+    def map(self, op_name: str, *host_operands, width: int = 8,
+            backend: str | None = None,
+            engine: str = "auto") -> np.ndarray:
+        """Sharded :meth:`Simdram.map`: host vectors are split into
+        contiguous per-module chunks that stream through all modules
+        concurrently; each module batches its chunk exactly like the
+        single-module path, so plan caches hit from batch 2 on."""
+        spec = get_operation(op_name)
+        if len(host_operands) != spec.arity:
+            raise OperationError(
+                f"{op_name} takes {spec.arity} operands, "
+                f"got {len(host_operands)}")
+        vectors = [np.asarray(v) for v in host_operands]
+        program = self.compile(op_name, width, backend)
+        return self._map_sharded(
+            vectors,
+            lambda sim, chunks: sim.map(op_name, *chunks, width=width,
+                                        backend=backend, engine=engine),
+            program, f"map:{op_name}@{width}")
+
+    def map_expr(self, root: Expr, feeds: dict[str, np.ndarray], *,
+                 width: int = 8, backend: str | None = None,
+                 engine: str = "auto") -> np.ndarray:
+        """Sharded :meth:`Simdram.map_expr` (fused streaming)."""
+        key, kernel = self.compile_expr(root, width, backend)
+        names = list(kernel.input_names)
+        missing = set(names) - set(feeds)
+        extra = set(feeds) - set(names)
+        if missing or extra:
+            raise OperationError(
+                f"fused expression inputs are {sorted(names)}"
+                + (f"; missing {sorted(missing)}" if missing else "")
+                + (f"; unexpected {sorted(extra)}" if extra else ""))
+        vectors = [np.asarray(feeds[name]) for name in names]
+
+        def run_chunk(sim: Simdram, chunks: list[np.ndarray]):
+            sim.adopt_kernel(key, kernel)
+            return sim.map_expr(root, dict(zip(names, chunks)),
+                                width=width, backend=backend,
+                                engine=engine)
+
+        return self._map_sharded(vectors, run_chunk, kernel.program,
+                                 f"map_expr@{width}")
+
+    def _map_sharded(self, vectors: list[np.ndarray], run_chunk,
+                     program: MicroProgram, label: str) -> np.ndarray:
+        n_total = len(vectors[0])
+        if any(len(v) != n_total for v in vectors):
+            raise OperationError(
+                f"map: operand lengths differ: "
+                f"{[len(v) for v in vectors]}")
+        if n_total == 0:
+            raise OperationError("map needs at least one element")
+        # Contiguous split, one chunk per module, remainder spread over
+        # the leading modules; empty chunks are skipped.
+        base, rem = divmod(n_total, self.n_modules)
+        bounds = [0]
+        for i in range(self.n_modules):
+            bounds.append(bounds[-1] + base + (1 if i < rem else 0))
+
+        def run_module(module_index: int) -> np.ndarray:
+            lo, hi = bounds[module_index], bounds[module_index + 1]
+            sim = self.modules[module_index]
+            sim.adopt_program(program)
+            before = sim.module.total_stats()
+            chunk = run_chunk(sim, [v[lo:hi] for v in vectors])
+            self._account(module_index, before)
+            return chunk
+
+        subtasks: list[Subtask] = [
+            (m, (lambda i=m: run_module(i)))
+            for m in range(self.n_modules)
+            if bounds[m + 1] > bounds[m]
+        ]
+        future = self.scheduler.submit(subtasks,
+                                       finalizer=np.concatenate,
+                                       label=label)
+        return future.result()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def synchronize(self) -> None:
+        """Wait for every outstanding job (re-raising failures)."""
+        self.scheduler.barrier()
+
+    def close(self) -> None:
+        """Drain the scheduler and stop the module workers."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "SimdramCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

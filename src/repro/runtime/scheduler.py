@@ -1,0 +1,214 @@
+"""Async job scheduler: per-tensor dependency tracking, per-module workers.
+
+A *job* is one cluster-level operation (load a tensor, run an op or a
+fused expression, gather, free).  It fans out into per-shard *subtasks*,
+each bound to the module holding that shard.  Every module has exactly
+one worker thread, which serializes all mutation of that module's state
+(cell arrays, allocator, paging manager, control unit) — so subtasks of
+*different* modules run concurrently (numpy releases the GIL in its
+inner loops, so on a multi-core host this is real parallelism), while
+everything touching one module is totally ordered.
+
+Ordering between jobs is derived from the tensors they touch:
+
+* a job *reading* tensor T runs after T's last writer;
+* a job *writing* tensor T runs after T's last writer **and** all of
+  T's in-flight readers (no write may overtake a read).
+
+Independent jobs — disjoint tensors — are never ordered against each
+other and overlap freely across modules.  A failed job propagates its
+exception to every dependent job (and ultimately to whoever waits on
+their futures), never deadlocking the queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:
+    from repro.runtime.tensor import DeviceTensor
+
+#: A subtask: (module index, thunk to run on that module's worker).
+Subtask = tuple[int, Callable[[], Any]]
+
+
+class _Job:
+    """Internal dispatch state of one submitted job."""
+
+    def __init__(self, scheduler: "JobScheduler", job_id: int, label: str,
+                 subtasks: Sequence[Subtask],
+                 finalizer: Callable[[list], Any] | None) -> None:
+        self.scheduler = scheduler
+        self.job_id = job_id
+        self.label = label
+        self.subtasks = list(subtasks)
+        self.finalizer = finalizer
+        self.future: Future = Future()
+        self._lock = threading.Lock()
+        self._pending_deps = 0
+        self._remaining = len(self.subtasks)
+        self._results: list[Any] = [None] * len(self.subtasks)
+        self._failed = False
+
+    # -- dependency phase ----------------------------------------------
+    def wait_for(self, deps: set[Future]) -> None:
+        """Arm the job: dispatch once every dependency resolves."""
+        self._pending_deps = len(deps)
+        if not deps:
+            self._dispatch()
+            return
+        for dep in deps:
+            dep.add_done_callback(self._dep_done)
+
+    def _dep_done(self, dep: Future) -> None:
+        error = dep.exception()
+        if error is not None:
+            self._fail(ExecutionError(
+                f"job {self.label!r} aborted: a dependency failed "
+                f"({error})"))
+            return
+        with self._lock:
+            self._pending_deps -= 1
+            ready = self._pending_deps == 0 and not self._failed
+        if ready:
+            self._dispatch()
+
+    # -- execution phase -----------------------------------------------
+    def _dispatch(self) -> None:
+        if not self.subtasks:
+            self._finish()
+            return
+        for index, (module_index, thunk) in enumerate(self.subtasks):
+            self.scheduler._executor(module_index).submit(
+                self._run_subtask, index, thunk)
+
+    def _run_subtask(self, index: int, thunk: Callable[[], Any]) -> None:
+        with self._lock:
+            if self._failed:
+                return
+        try:
+            result = thunk()
+        except BaseException as error:  # propagated via the future
+            self._fail(error)
+            return
+        with self._lock:
+            self._results[index] = result
+            self._remaining -= 1
+            done = self._remaining == 0 and not self._failed
+        if done:
+            self._finish()
+
+    def _finish(self) -> None:
+        try:
+            output = (self.finalizer(self._results)
+                      if self.finalizer else self._results)
+        except BaseException as error:
+            self._fail(error)
+            return
+        self.future.set_result(output)
+        self.scheduler._job_done(self.future)
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            if self._failed:
+                return
+            self._failed = True
+        self.future.set_exception(error)
+        self.scheduler._job_done(self.future)
+
+
+class JobScheduler:
+    """Owns the per-module workers and the tensor dependency graph."""
+
+    def __init__(self, n_modules: int) -> None:
+        self._executors = [
+            ThreadPoolExecutor(max_workers=1,
+                               thread_name_prefix=f"simdram-mod{i}")
+            for i in range(n_modules)
+        ]
+        self._lock = threading.Lock()
+        self._outstanding: set[Future] = set()
+        self._ids = itertools.count()
+        self._closed = False
+
+    def _executor(self, module_index: int) -> ThreadPoolExecutor:
+        return self._executors[module_index]
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, subtasks: Sequence[Subtask],
+               reads: Sequence["DeviceTensor"] = (),
+               writes: Sequence["DeviceTensor"] = (),
+               finalizer: Callable[[list], Any] | None = None,
+               label: str = "") -> Future:
+        """Queue one job; returns its future (result = finalizer output,
+        or the list of per-subtask results)."""
+        if self._closed:
+            raise ExecutionError("scheduler is closed")
+        job = _Job(self, next(self._ids), label, subtasks, finalizer)
+        with self._lock:
+            deps: set[Future] = set()
+            for tensor in reads:
+                if tensor.last_writer is not None:
+                    deps.add(tensor.last_writer)
+            for tensor in writes:
+                if tensor.last_writer is not None:
+                    deps.add(tensor.last_writer)
+                deps.update(tensor.reader_futures)
+            deps.discard(job.future)
+            for tensor in reads:
+                # Prune settled readers so long-lived tensors that are
+                # read many times between writes don't accumulate them.
+                tensor.reader_futures = [
+                    f for f in tensor.reader_futures if not f.done()]
+                tensor.reader_futures.append(job.future)
+            for tensor in writes:
+                tensor.last_writer = job.future
+                tensor.reader_futures = []
+            self._outstanding.add(job.future)
+        # Arm outside the lock: already-done dependencies run their
+        # callbacks inline, which may dispatch (and even finish) the job.
+        job.wait_for(deps)
+        return job.future
+
+    def _job_done(self, future: Future) -> None:
+        with self._lock:
+            self._outstanding.discard(future)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def barrier(self, raise_on_error: bool = True) -> None:
+        """Wait until every job submitted so far has finished."""
+        while True:
+            with self._lock:
+                pending = list(self._outstanding)
+            if not pending:
+                return
+            for future in pending:
+                if raise_on_error:
+                    future.result()
+                else:
+                    try:
+                        future.result()
+                    except BaseException:
+                        pass
+
+    @property
+    def n_outstanding(self) -> int:
+        with self._lock:
+            return len(self._outstanding)
+
+    def close(self) -> None:
+        """Drain outstanding jobs and stop the workers."""
+        if not self._closed:
+            self.barrier(raise_on_error=False)
+            self._closed = True
+            for executor in self._executors:
+                executor.shutdown(wait=True)

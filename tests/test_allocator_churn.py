@@ -1,0 +1,160 @@
+"""Allocator behaviour under churn: coalescing, accounting, reclaim.
+
+The paging layer frees and reallocates row blocks constantly, so the
+allocator must never degrade into fragmentation that a coalescing free
+list would have avoided.  The hypothesis sweep drives random
+alloc/free/reserve sequences against a reference free-extent model and
+asserts the invariants that make paging safe:
+
+* adjacent free extents are always merged (no two extents touch);
+* ``free_rows``/``largest_free`` match the reference model exactly;
+* an allocation succeeds iff a contiguous extent of the requested width
+  exists — and after freeing *everything*, the full D-group is one
+  extent again, so total-free capacity is always recoverable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import AllocationError
+from repro.exec.memory import VerticalAllocator
+
+DATA_ROWS = 64
+
+
+def make_allocator(reclaim=None) -> VerticalAllocator:
+    geometry = DramGeometry.sim_small(cols=8, data_rows=DATA_ROWS,
+                                      banks=1)
+    return VerticalAllocator(geometry, reclaim=reclaim)
+
+
+#: One churn step: (op, width, victim-index). ``victim`` picks which
+#: live block to free (modulo the live count at that point).
+steps = st.lists(
+    st.tuples(st.sampled_from(["alloc", "free", "reserve"]),
+              st.integers(min_value=1, max_value=33),
+              st.integers(min_value=0, max_value=7)),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=120, deadline=None)
+@given(steps)
+def test_churn_matches_reference_model(sequence):
+    allocator = make_allocator()
+    live = []
+    for op, width, victim in sequence:
+        extents_before = allocator.free_extents
+        can_fit = any(size >= width for _, size in extents_before)
+        if op == "alloc":
+            if can_fit:
+                block = allocator.alloc(width)
+                assert block.width == width
+                live.append(block)
+            else:
+                with pytest.raises(AllocationError):
+                    allocator.alloc(width)
+        elif op == "reserve":
+            if can_fit:
+                with allocator.reserve(width) as block:
+                    assert block.width == width
+                # reserve must leave the free list exactly as it was
+                assert allocator.free_extents == extents_before
+            else:
+                with pytest.raises(AllocationError):
+                    with allocator.reserve(width):
+                        pass
+        elif live:
+            allocator.free(live.pop(victim % len(live)))
+
+        # Invariants after every step.
+        extents = allocator.free_extents
+        assert extents == sorted(extents)
+        for (base_a, size_a), (base_b, _) in zip(extents, extents[1:]):
+            assert base_a + size_a < base_b, (
+                f"uncoalesced neighbours {extents}")
+        used = sum(block.width for block in allocator.allocated_blocks)
+        assert allocator.free_rows() == DATA_ROWS - used
+        assert allocator.largest_free() == max(
+            (size for _, size in extents), default=0)
+
+    # Full recovery: freeing every live block restores one extent.
+    for block in live:
+        allocator.free(block)
+    assert allocator.free_extents == [(0, DATA_ROWS)]
+
+
+def test_free_coalesces_both_neighbours():
+    allocator = make_allocator()
+    a = allocator.alloc(8)
+    b = allocator.alloc(8)
+    c = allocator.alloc(8)
+    allocator.free(a)
+    allocator.free(c)  # c's hole merges with the tail immediately
+    assert allocator.free_extents == [(0, 8), (16, DATA_ROWS - 16)]
+    allocator.free(b)  # merges a-hole + b + tail into one extent
+    assert allocator.free_extents == [(0, DATA_ROWS)]
+
+
+def test_interleaved_free_recovers_contiguity():
+    """The fragmentation pattern the paging layer produces: free every
+    other block, then allocate something wider than any single hole."""
+    allocator = make_allocator()
+    blocks = [allocator.alloc(4) for _ in range(16)]
+    assert allocator.free_rows() == 0
+    for block in blocks[::2]:
+        allocator.free(block)
+    assert allocator.largest_free() == 4
+    with pytest.raises(AllocationError):
+        allocator.alloc(8)
+    for block in blocks[1::2]:
+        allocator.free(block)
+    # Coalescing restored the whole D-group; a large block fits again.
+    assert allocator.largest_free() == DATA_ROWS
+    assert allocator.alloc(DATA_ROWS).width == DATA_ROWS
+
+
+def test_double_free_rejected():
+    allocator = make_allocator()
+    block = allocator.alloc(4)
+    allocator.free(block)
+    with pytest.raises(AllocationError):
+        allocator.free(block)
+
+
+class TestReclaimHook:
+    def test_reclaim_is_retried_until_fit(self):
+        victims = []
+        allocator = make_allocator()
+
+        def reclaim(width):
+            if victims:
+                allocator.free(victims.pop())
+                return True
+            return False
+
+        allocator.set_reclaim(reclaim)
+        victims.extend(allocator.alloc(16) for _ in range(4))
+        assert allocator.free_rows() == 0
+        # Needs two evictions (16 rows each, adjacent, coalesced).
+        block = allocator.alloc(24)
+        assert block.width == 24
+        assert len(victims) == 2
+
+    def test_exhausted_reclaim_raises(self):
+        allocator = make_allocator(reclaim=lambda width: False)
+        allocator.alloc(DATA_ROWS)
+        with pytest.raises(AllocationError):
+            allocator.alloc(1)
+
+    def test_unproductive_reclaim_terminates(self):
+        calls = []
+        allocator = make_allocator()
+        allocator.set_reclaim(lambda width: not calls.append(width)
+                              and False)
+        allocator.alloc(DATA_ROWS)
+        with pytest.raises(AllocationError):
+            allocator.alloc(2)
+        assert calls == [2]

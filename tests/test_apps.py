@@ -143,6 +143,24 @@ class TestCnn:
                 expected[y, x] = (image[y:y + 2, x:x + 2] * kernel).sum()
         assert np.array_equal(got, np.maximum(expected, 0))
 
+    def test_cluster_conv2d_relu_matches_fused_single_module(self,
+                                                             app_sim):
+        """The sharded-runtime convolution is bit-identical to the
+        single-module fused path, on a feature map spanning shards."""
+        from repro.apps.cnn import conv2d_relu_cluster
+        from repro.runtime import SimdramCluster
+
+        rng = np.random.default_rng(11)
+        image = rng.integers(0, 50, (9, 9))
+        kernel = rng.integers(-3, 4, (3, 3))
+        expected = conv2d_relu_simdram_fused(app_sim, image, kernel)
+
+        config = SimdramConfig(geometry=DramGeometry.sim_small(
+            cols=16, data_rows=256, banks=1))
+        with SimdramCluster(2, config=config) as cluster:
+            got = conv2d_relu_cluster(cluster, image, kernel)
+        assert np.array_equal(got, expected)
+
     def test_relu_helper(self, app_sim):
         values = np.array([[-10, 4], [0, -1]])
         assert np.array_equal(relu_simdram(app_sim, values),

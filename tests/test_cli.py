@@ -47,3 +47,19 @@ class TestCommands:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "verified against numpy" in out
+
+    def test_cluster_runs_green(self, capsys):
+        assert main(["cluster", "--modules", "2", "--op", "add",
+                     "--n", "200", "--cols", "32", "--data-rows", "64",
+                     "--banks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2-module cluster" in out
+        assert "OK" in out and "MISMATCH" not in out
+
+    def test_cluster_paging_path(self, capsys):
+        """Tiny D-group forces the CLI run through spill/fill."""
+        assert main(["cluster", "--modules", "1", "--op", "mul",
+                     "--n", "64", "--width", "4", "--cols", "16",
+                     "--data-rows", "48", "--banks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out

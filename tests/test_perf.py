@@ -115,3 +115,52 @@ class TestArea:
         large_rows = area_report(DramGeometry(data_rows=1014))
         assert small_rows.dram_total_percent > \
             large_rows.dram_total_percent
+
+
+class TestPagedMeasure:
+    """The paging-aware model: spill/fill traffic degrades throughput
+    and adds channel I/O energy, and vanishes at zero traffic."""
+
+    def test_zero_traffic_reduces_to_measure(self):
+        system = PimSystemModel.paper()
+        program = compile_cached("add", 8)
+        base = system.measure(program, n_banks=4)
+        paged = system.measure_paged(program, n_banks=4)
+        assert paged.platform == "SIMDRAM:4:paged"
+        assert paged.throughput_gops == pytest.approx(
+            base.throughput_gops)
+        assert paged.energy_nj_per_element == pytest.approx(
+            base.energy_nj_per_element)
+
+    def test_traffic_monotonically_degrades(self):
+        system = PimSystemModel.paper()
+        program = compile_cached("add", 8)
+        sweeps = [system.measure_paged(program, n_banks=4,
+                                       spill_bits_per_element=bits,
+                                       fill_bits_per_element=bits)
+                  for bits in (0, 8, 64)]
+        assert (sweeps[0].throughput_gops > sweeps[1].throughput_gops
+                > sweeps[2].throughput_gops)
+        assert (sweeps[0].energy_nj_per_element
+                < sweeps[1].energy_nj_per_element
+                < sweeps[2].energy_nj_per_element)
+
+    def test_negative_traffic_rejected(self):
+        system = PimSystemModel.paper()
+        program = compile_cached("add", 8)
+        with pytest.raises(ConfigError):
+            system.measure_paged(program, spill_bits_per_element=-1)
+
+    def test_per_element_energy_is_bank_count_invariant(self):
+        """Like measure(): each element pays for its own paging bits,
+        regardless of how many banks participate."""
+        system = PimSystemModel.paper()
+        program = compile_cached("add", 8)
+        one = system.measure_paged(program, n_banks=1,
+                                   spill_bits_per_element=8,
+                                   fill_bits_per_element=8)
+        four = system.measure_paged(program, n_banks=4,
+                                    spill_bits_per_element=8,
+                                    fill_bits_per_element=8)
+        assert one.energy_nj_per_element == pytest.approx(
+            four.energy_nj_per_element)

@@ -1,0 +1,169 @@
+"""Paging layer: spill/fill bit-exactness, accounting, lifecycle errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import Simdram, SimdramConfig
+from repro.dram.commands import CommandStats
+from repro.dram.geometry import DramGeometry
+from repro.errors import AllocationError, ExecutionError
+from repro.runtime import SimdramCluster
+
+
+def tiny_config(data_rows: int = 64) -> SimdramConfig:
+    return SimdramConfig(geometry=DramGeometry.sim_small(
+        cols=16, data_rows=data_rows, banks=1))
+
+
+def host_values(rng, width: int, signed: bool, n: int) -> np.ndarray:
+    if signed:
+        half = 1 << (width - 1)
+        return rng.integers(-half, half, n)
+    return rng.integers(0, 1 << width, n)
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+@pytest.mark.parametrize("signed", [False, True])
+class TestSpillFillRoundTrip:
+    def test_simdram_spill_round_trips(self, width, signed):
+        """Framework-level primitive: spill reads the exact values and
+        releases the rows; re-loading reproduces the exact bits."""
+        sim = Simdram(tiny_config())
+        rng = np.random.default_rng(width + signed)
+        values = host_values(rng, width, signed, 16)
+        array = sim.array(values, width, signed=signed)
+        rows_before = sim._allocator.free_rows()
+        stats = CommandStats()
+
+        spilled = sim.spill(array, stats=stats)
+        assert np.array_equal(spilled, values)
+        assert array.status == "evicted"
+        assert sim._allocator.free_rows() == rows_before + width
+        assert stats.n_spills == 1
+        assert stats.spill_bits == 16 * width
+
+        refilled = sim.array(spilled, width, signed=signed)
+        assert np.array_equal(refilled.to_numpy(), values)
+
+    def test_cluster_eviction_round_trips(self, width, signed):
+        """End to end: shards forced out by memory pressure come back
+        bit-exact, both via gather and via fault-in for compute."""
+        rng = np.random.default_rng(3 * width + signed)
+        with SimdramCluster(2, config=tiny_config(48)) as cluster:
+            values = host_values(rng, width, signed, 40)
+            tensor = cluster.tensor(values, width, signed=signed)
+            # Pressure: enough 16-bit tensors to evict everything.
+            others = [cluster.tensor(rng.integers(0, 1 << 16, 40), 16)
+                      for _ in range(4)]
+            cluster.synchronize()
+            assert cluster.paging_stats().n_spills > 0
+            assert np.array_equal(tensor.to_numpy(), values)
+            # Fault-in on use: the faulted-in shard must compute the
+            # same bits as a never-evicted single-module run.
+            result = cluster.run("abs", tensor)
+            reference = Simdram(tiny_config(64))
+            ref_in = reference.array(values[:16], width, signed=signed)
+            expected = reference.run("abs", ref_in).to_numpy()
+            assert np.array_equal(result.to_numpy()[:16], expected)
+            for other in others:
+                other.free()
+
+
+class TestLifecycle:
+    def test_free_is_idempotent(self):
+        sim = Simdram(tiny_config())
+        array = sim.array([1, 2, 3], 8)
+        array.free()
+        array.free()  # no raise
+        assert array.status == "freed"
+
+    def test_free_after_eviction_is_idempotent(self):
+        sim = Simdram(tiny_config())
+        array = sim.array([1, 2, 3], 8)
+        sim.spill(array)
+        array.free()  # rows already released at eviction; no raise
+        assert array.status == "freed"
+
+    def test_read_of_freed_array_raises(self):
+        sim = Simdram(tiny_config())
+        array = sim.array([1, 2, 3], 8)
+        array.free()
+        with pytest.raises(ExecutionError, match="freed"):
+            array.to_numpy()
+
+    def test_read_of_evicted_array_raises(self):
+        sim = Simdram(tiny_config())
+        array = sim.array([1, 2, 3], 8)
+        sim.spill(array)
+        with pytest.raises(ExecutionError, match="evicted"):
+            array.to_numpy()
+
+    def test_freed_rows_are_not_resurrected(self):
+        """A freed handle whose rows were re-allocated must not read
+        the new occupant's bits."""
+        sim = Simdram(tiny_config())
+        stale = sim.array([7, 7, 7], 8)
+        stale.free()
+        fresh = sim.array([1, 2, 3], 8)
+        assert fresh.block.base == stale.block.base
+        with pytest.raises(ExecutionError):
+            stale.to_numpy()
+
+    def test_resurrected_handle_rejected_as_operand(self):
+        """The execution paths must also reject a freed handle whose
+        base row now tracks a different live array (the tracker alone
+        would accept it and compute on the new occupant's rows)."""
+        sim = Simdram(tiny_config())
+        stale = sim.array([7, 7, 7], 8)
+        stale.free()
+        fresh = sim.array([1, 2, 3], 8)
+        assert fresh.block.base == stale.block.base
+        with pytest.raises(ExecutionError, match="freed"):
+            sim.run("add", stale, fresh)
+        with pytest.raises(ExecutionError, match="freed"):
+            sim.copy(stale)
+        with pytest.raises(ExecutionError, match="freed"):
+            sim.shift_left(stale, 1)
+        from repro.core import expr
+        with pytest.raises(ExecutionError, match="freed"):
+            sim.run_expr(expr.add(expr.inp("a"), expr.inp("b")),
+                         {"a": stale, "b": fresh}, width=8)
+
+    def test_freed_device_tensor_rejected_as_operand(self):
+        with SimdramCluster(2, config=tiny_config()) as cluster:
+            a = cluster.tensor([1, 2, 3], 8)
+            b = cluster.tensor([4, 5, 6], 8)
+            a.free()
+            with pytest.raises(ExecutionError, match="freed"):
+                cluster.run("add", a, b)
+
+
+class TestPressureLimits:
+    def test_pinned_working_set_too_large_raises(self):
+        """Paging cannot help when one operation's own operands exceed
+        capacity: the pinned shards are not evictable."""
+        config = SimdramConfig(geometry=DramGeometry.sim_small(
+            cols=16, data_rows=20, banks=1))
+        with SimdramCluster(1, config=config) as cluster:
+            a = cluster.tensor(np.arange(16), 16)
+            b = cluster.tensor(np.arange(16), 16)
+            # mul@16 needs inputs + output + scratch >> 20 rows.
+            with pytest.raises(AllocationError):
+                cluster.run("mul", a, b)
+
+    def test_many_tensors_one_module_completes(self):
+        """Working set far beyond one module's rows completes through
+        spill/fill churn."""
+        config = tiny_config(40)  # five 8-bit tensors max
+        rng = np.random.default_rng(0)
+        with SimdramCluster(1, config=config) as cluster:
+            hosts = [rng.integers(0, 256, 16) for _ in range(12)]
+            tensors = [cluster.tensor(h, 8) for h in hosts]
+            outs = [cluster.run("add", t, t) for t in tensors]
+            for host, out in zip(hosts, outs):
+                assert np.array_equal(out.to_numpy(), (2 * host) % 256)
+            stats = cluster.paging_stats()
+            assert stats.n_spills > 0 and stats.n_fills > 0
+            assert stats.spill_bits > 0 and stats.fill_bits > 0

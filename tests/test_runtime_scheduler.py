@@ -1,0 +1,166 @@
+"""Async job scheduler: ordering, concurrency, failure propagation."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.framework import SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.errors import ExecutionError, OperationError
+from repro.runtime import SimdramCluster
+from repro.runtime.scheduler import JobScheduler
+
+
+def small_cluster(n_modules: int = 2) -> SimdramCluster:
+    config = SimdramConfig(geometry=DramGeometry.sim_small(
+        cols=16, data_rows=256, banks=1))
+    return SimdramCluster(n_modules, config=config)
+
+
+class TestRawScheduler:
+    def test_results_in_subtask_order(self):
+        scheduler = JobScheduler(3)
+        future = scheduler.submit([(m, (lambda m=m: m * 10))
+                                   for m in range(3)])
+        assert future.result() == [0, 10, 20]
+        scheduler.close()
+
+    def test_finalizer_shapes_the_result(self):
+        scheduler = JobScheduler(2)
+        future = scheduler.submit([(0, lambda: 1), (1, lambda: 2)],
+                                  finalizer=sum)
+        assert future.result() == 3
+        scheduler.close()
+
+    def test_same_module_subtasks_serialize(self):
+        """Two jobs on one module must never interleave."""
+        scheduler = JobScheduler(1)
+        active = []
+        overlaps = []
+
+        def body(tag):
+            active.append(tag)
+            if len(active) > 1:
+                overlaps.append(list(active))
+            time.sleep(0.01)
+            active.remove(tag)
+            return tag
+
+        futures = [scheduler.submit([(0, (lambda t=t: body(t)))])
+                   for t in range(4)]
+        assert [f.result() for f in futures] == [[0], [1], [2], [3]]
+        assert overlaps == []
+        scheduler.close()
+
+    def test_independent_jobs_overlap_across_modules(self):
+        """Jobs on different modules run concurrently (both workers
+        must be inside their bodies at the same time)."""
+        scheduler = JobScheduler(2)
+        barrier = threading.Barrier(2, timeout=5)
+
+        def body():
+            barrier.wait()  # deadlocks unless both run concurrently
+            return True
+
+        futures = [scheduler.submit([(m, body)]) for m in range(2)]
+        assert all(f.result(timeout=5) for f in futures)
+        scheduler.close()
+
+    def test_failure_propagates_to_dependents(self):
+        cluster = small_cluster()
+        tensor = cluster.tensor([1, 2, 3], 8)
+
+        def boom():
+            raise RuntimeError("injected")
+
+        failing = cluster.scheduler.submit([(0, boom)], writes=[tensor])
+        dependent = cluster.scheduler.submit([(0, lambda: "ran")],
+                                             reads=[tensor])
+        with pytest.raises(RuntimeError, match="injected"):
+            failing.result()
+        with pytest.raises(ExecutionError, match="dependency failed"):
+            dependent.result()
+        cluster.scheduler.barrier(raise_on_error=False)
+        cluster.close()
+
+    def test_closed_scheduler_rejects_submissions(self):
+        scheduler = JobScheduler(1)
+        scheduler.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            scheduler.submit([(0, lambda: None)])
+
+
+class TestTensorDependencies:
+    def test_chain_of_dependent_jobs_is_ordered(self):
+        """b = a+a; c = b*b; d = c+b — every link must observe its
+        producer, concurrently submitted."""
+        rng = np.random.default_rng(0)
+        host = rng.integers(0, 16, 40)
+        with small_cluster() as cluster:
+            a = cluster.tensor(host, 8)
+            b = cluster.submit("add", a, a).tensor
+            c = cluster.submit("mul", b, b).tensor
+            d = cluster.submit("add", c, b).tensor
+            expected_b = (2 * host) % 256
+            expected_c = (expected_b * expected_b) % 256
+            expected_d = (expected_c + expected_b) % 256
+            assert np.array_equal(d.to_numpy(), expected_d)
+            assert np.array_equal(c.to_numpy(), expected_c)
+            assert np.array_equal(b.to_numpy(), expected_b)
+
+    def test_diamond_dependency(self):
+        host = np.arange(30)
+        with small_cluster() as cluster:
+            a = cluster.tensor(host, 8)
+            left = cluster.submit("add", a, a).tensor
+            right = cluster.submit("mul", a, a).tensor
+            joined = cluster.submit("add", left, right).tensor
+            expected = ((2 * host) % 256 + (host * host) % 256) % 256
+            assert np.array_equal(joined.to_numpy(), expected)
+
+    def test_free_waits_for_readers(self):
+        """Submitting free immediately after an op is safe: the free
+        job is ordered after every job reading the tensor."""
+        host = np.arange(40)
+        with small_cluster() as cluster:
+            a = cluster.tensor(host, 8)
+            b = cluster.tensor(host, 8)
+            handle = cluster.submit("add", a, b)
+            a.free()
+            b.free()
+            assert np.array_equal(handle.result().to_numpy(),
+                                  (2 * host) % 256)
+            cluster.synchronize()
+            for sim in cluster.modules:
+                assert sim._allocator.allocated_blocks != []  # output only
+
+    def test_many_concurrent_independent_jobs(self):
+        rng = np.random.default_rng(7)
+        hosts = [rng.integers(0, 256, 48) for _ in range(8)]
+        with small_cluster(4) as cluster:
+            tensors = [cluster.tensor(h, 8) for h in hosts]
+            handles = [cluster.submit("add", t, t) for t in tensors]
+            for host, handle in zip(hosts, handles):
+                assert np.array_equal(handle.result().to_numpy(),
+                                      (2 * host) % 256)
+
+    def test_submit_validates_before_queueing(self):
+        with small_cluster() as cluster:
+            a = cluster.tensor([1, 2, 3], 8)
+            b = cluster.tensor([1, 2, 3, 4], 8)
+            with pytest.raises(OperationError, match="lengths differ"):
+                cluster.submit("add", a, b)
+            with pytest.raises(OperationError, match="takes 2 operands"):
+                cluster.submit("add", a)
+
+    def test_makespan_advances(self):
+        with small_cluster() as cluster:
+            a = cluster.tensor(np.arange(40), 8)
+            assert cluster.run("add", a, a) is not None
+            cluster.synchronize()
+            assert cluster.makespan_ns() > 0
+            assert all(ns > 0 for ns in cluster.busy_ns)
