@@ -4,10 +4,11 @@
 Runs a small kernel set (add / mul / xor_red, the arithmetic and
 reduction shapes of the paper's evaluation) through *both* execution
 engines on a 16-bank module, measures simulated operation and µOp
-throughput, writes the numbers to ``bench_ci.json`` (uploaded as a CI
-artifact) and **fails** — exit code 1 — if the vectorized engine is not
-at least ``--min-speedup`` (default 5x) faster than the per-bank engine
-on 8-bit ``add`` at 16 banks.  That gate is the regression tripwire for
+throughput, publishes the numbers under the ``"vectorized"`` gate of
+the shared ``bench_ci.json`` (see :mod:`gate_utils`) and **fails** —
+exit code 1 — if the vectorized engine is not at least
+``--min-speedup`` (default 5x) faster than the per-bank engine on
+8-bit ``add`` at 16 banks.  That gate is the regression tripwire for
 the batched execution engine: an accidental per-bank fallback or a
 de-vectorized hot loop shows up as a gate failure, not as a silently
 slower simulator.
@@ -17,16 +18,16 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_ci_smoke.py [--output bench_ci.json]
 
 The script is pure stdlib + the repo itself; it is also importable so
-the test suite can exercise its measurement helpers.
+``run_all.py`` (and the test suite) can call :func:`run_gate`.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
-from pathlib import Path
+
+from gate_utils import publish
 
 from repro.core.framework import Simdram, SimdramConfig
 from repro.core.operations import get_operation
@@ -41,6 +42,7 @@ KERNELS: tuple[tuple[str, int], ...] = (
     ("xor_red", 8),
 )
 GATE_KERNEL = ("add", 8)
+GATE_NAME = "vectorized"
 BANKS = 16
 COLS = 64
 MIN_SECONDS = 0.2  # measure each engine for at least this long
@@ -121,39 +123,37 @@ def run_suite() -> dict:
             "kernels": results}
 
 
+def run_gate(min_speedup: float = 5.0) -> dict:
+    """Run the suite and return the gate section for bench_ci.json."""
+    section = run_suite()
+    gate_entry = next(k for k in section["kernels"]
+                      if (k["kernel"], k["element_width"]) == GATE_KERNEL)
+    gate_pass = gate_entry["speedup"] >= min_speedup
+    section["gate"] = {
+        "kernel": GATE_KERNEL[0],
+        "element_width": GATE_KERNEL[1],
+        "banks": BANKS,
+        "required_speedup": min_speedup,
+        "measured_speedup": gate_entry["speedup"],
+        "pass": gate_pass,
+        "detail": (f"vectorized engine is {gate_entry['speedup']:.2f}x "
+                   f"the per-bank engine on {GATE_KERNEL[1]}-bit "
+                   f"{GATE_KERNEL[0]} at {BANKS} banks "
+                   f"(required: {min_speedup:.1f}x)"),
+    }
+    return section
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="bench_ci.json",
-                        help="where to write the JSON report")
+                        help="shared gate report to merge into")
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="required vectorized/per-bank speedup on "
                              f"{GATE_KERNEL[1]}-bit {GATE_KERNEL[0]} "
                              f"at {BANKS} banks")
     args = parser.parse_args(argv)
-
-    report = run_suite()
-    gate_entry = next(k for k in report["kernels"]
-                      if (k["kernel"], k["element_width"]) == GATE_KERNEL)
-    gate_pass = gate_entry["speedup"] >= args.min_speedup
-    report["gate"] = {
-        "kernel": GATE_KERNEL[0],
-        "element_width": GATE_KERNEL[1],
-        "banks": BANKS,
-        "required_speedup": args.min_speedup,
-        "measured_speedup": gate_entry["speedup"],
-        "pass": gate_pass,
-    }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    if not gate_pass:
-        print(f"GATE FAILED: vectorized engine is only "
-              f"{gate_entry['speedup']:.2f}x the per-bank engine on "
-              f"{GATE_KERNEL[1]}-bit {GATE_KERNEL[0]} at {BANKS} banks "
-              f"(required: {args.min_speedup:.1f}x)", file=sys.stderr)
-        return 1
-    print(f"gate ok: {gate_entry['speedup']:.1f}x >= "
-          f"{args.min_speedup:.1f}x")
-    return 0
+    return publish(args.output, GATE_NAME, run_gate(args.min_speedup))
 
 
 if __name__ == "__main__":

@@ -18,8 +18,9 @@ Two gates for the runtime subsystem (``repro.runtime``):
    must complete through spill/fill churn with bit-exact results, and
    must actually spill.
 
-Numbers are merged into ``bench_ci.json`` (section ``"cluster"``) next
-to the engine-speedup smoke, so one artifact carries the whole story.
+Numbers publish under the ``"cluster"`` gate of the shared
+``bench_ci.json`` (see :mod:`gate_utils`) next to the other gates, so
+one artifact carries the whole story.
 
 Usage::
 
@@ -29,18 +30,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
-from pathlib import Path
 
 import numpy as np
+
+from gate_utils import publish
 
 from repro.core.framework import SimdramConfig
 from repro.dram.geometry import DramGeometry
 from repro.runtime import SimdramCluster
 
 GATE_OP = "add"
+GATE_NAME = "cluster"
 GATE_WIDTH = 8
 N_ELEMENTS = 16384
 COLS = 512
@@ -120,57 +122,46 @@ def bench_paging() -> dict:
     return entry
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="bench_ci.json",
-                        help="JSON report; the cluster section is "
-                             "merged into an existing file")
-    parser.add_argument("--min-speedup", type=float, default=2.5,
-                        help="required 4-module / 1-module modeled "
-                             "throughput ratio on sharded map")
-    args = parser.parse_args(argv)
-
+def run_gate(min_speedup: float = 2.5) -> dict:
+    """Run both cluster gates; returns the section for bench_ci.json."""
     sharded = bench_sharded_map()
     paging = bench_paging()
 
     speedup = (sharded[4]["elements_per_us"]
                / sharded[1]["elements_per_us"])
-    scaling_pass = (speedup >= args.min_speedup
+    scaling_pass = (speedup >= min_speedup
                     and all(e["correct"] for e in sharded.values()))
     paging_pass = paging["correct"] and paging["n_spills"] > 0
-
-    report_path = Path(args.output)
-    report = (json.loads(report_path.read_text())
-              if report_path.exists() else {})
-    report["cluster"] = {
+    return {
         "sharded_map": [sharded[m] for m in MODULE_COUNTS],
         "paging": paging,
         "gate": {
             "kernel": GATE_OP,
             "element_width": GATE_WIDTH,
-            "required_speedup": args.min_speedup,
+            "required_speedup": min_speedup,
             "measured_speedup": speedup,
             "scaling_pass": scaling_pass,
             "paging_pass": paging_pass,
             "pass": scaling_pass and paging_pass,
+            "detail": (f"4-module sharded map is {speedup:.2f}x the "
+                       f"1-module modeled throughput (required: "
+                       f"{min_speedup:.1f}x); paging workload "
+                       f"{'completed' if paging_pass else 'FAILED'} "
+                       f"({paging['n_spills']} spills, "
+                       f"{paging['n_fills']} fills)"),
         },
     }
-    report_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
 
-    if not scaling_pass:
-        print(f"GATE FAILED: 4-module sharded map is only {speedup:.2f}x "
-              f"the 1-module modeled throughput "
-              f"(required: {args.min_speedup:.1f}x)", file=sys.stderr)
-        return 1
-    if not paging_pass:
-        print("GATE FAILED: spilling workload did not complete "
-              "correctly (or never spilled)", file=sys.stderr)
-        return 1
-    print(f"gate ok: {speedup:.2f}x >= {args.min_speedup:.1f}x and "
-          f"paging workload completed "
-          f"({paging['n_spills']} spills, {paging['n_fills']} fills)")
-    return 0
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="bench_ci.json",
+                        help="shared gate report to merge into")
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="required 4-module / 1-module modeled "
+                             "throughput ratio on sharded map")
+    args = parser.parse_args(argv)
+    return publish(args.output, GATE_NAME, run_gate(args.min_speedup))
 
 
 if __name__ == "__main__":

@@ -27,21 +27,22 @@ The **gate** (exit code 1 on failure) requires the fused cnn kernel to
 issue at least ``--min-ratio`` (default 1.5x) fewer DRAM commands than
 the unfused pipeline — the regression tripwire for the fusion compiler:
 a broken constant fold or a de-fused dispatch shows up here, not as a
-silently slower simulator.
+silently slower simulator.  Results publish under the ``"fusion"``
+gate of the shared ``bench_ci.json`` (see :mod:`gate_utils`).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_fusion.py [--output bench_fusion.json]
+    PYTHONPATH=src python benchmarks/bench_fusion.py [--output bench_ci.json]
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
 
 import numpy as np
+
+from gate_utils import publish
 
 from repro.apps.brightness import PIXEL_BITS, brightness_expr
 from repro.apps.cnn import madd_relu_expr
@@ -56,6 +57,7 @@ COLS = 64
 TAP_WEIGHT = 37
 DELTA = 70
 GATE_KERNEL = "cnn_mad_relu"
+GATE_NAME = "fusion"
 STREAM_ELEMENTS = 4096
 
 
@@ -270,36 +272,34 @@ def run_suite() -> dict:
             "kernels": results}
 
 
+def run_gate(min_ratio: float = 1.5) -> dict:
+    """Run the suite and return the gate section for bench_ci.json."""
+    section = run_suite()
+    gate_entry = next(k for k in section["kernels"]
+                      if k["kernel"] == GATE_KERNEL)
+    gate_pass = gate_entry["command_ratio"] >= min_ratio
+    section["gate"] = {
+        "kernel": GATE_KERNEL,
+        "required_ratio": min_ratio,
+        "measured_ratio": gate_entry["command_ratio"],
+        "pass": gate_pass,
+        "detail": (f"fused {GATE_KERNEL} issues "
+                   f"{gate_entry['command_ratio']:.2f}x fewer DRAM "
+                   f"commands than the unfused pipeline "
+                   f"(required: {min_ratio:.1f}x)"),
+    }
+    return section
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="bench_fusion.json",
-                        help="where to write the JSON report")
+    parser.add_argument("--output", default="bench_ci.json",
+                        help="shared gate report to merge into")
     parser.add_argument("--min-ratio", type=float, default=1.5,
                         help="required unfused/fused DRAM-command ratio "
                              f"on the {GATE_KERNEL} kernel")
     args = parser.parse_args(argv)
-
-    report = run_suite()
-    gate_entry = next(k for k in report["kernels"]
-                      if k["kernel"] == GATE_KERNEL)
-    gate_pass = gate_entry["command_ratio"] >= args.min_ratio
-    report["gate"] = {
-        "kernel": GATE_KERNEL,
-        "required_ratio": args.min_ratio,
-        "measured_ratio": gate_entry["command_ratio"],
-        "pass": gate_pass,
-    }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
-    if not gate_pass:
-        print(f"GATE FAILED: fused {GATE_KERNEL} issues only "
-              f"{gate_entry['command_ratio']:.2f}x fewer DRAM commands "
-              f"than the unfused pipeline "
-              f"(required: {args.min_ratio:.1f}x)", file=sys.stderr)
-        return 1
-    print(f"gate ok: {gate_entry['command_ratio']:.2f}x >= "
-          f"{args.min_ratio:.1f}x")
-    return 0
+    return publish(args.output, GATE_NAME, run_gate(args.min_ratio))
 
 
 if __name__ == "__main__":

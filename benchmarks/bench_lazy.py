@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Lazy-frontend benchmark: transparent code vs. per-op eager execution.
+
+The lazy frontend's pitch is that *plain array code* gets the fused
+in-DRAM implementation automatically.  This benchmark writes the
+brightness pipeline both ways —
+
+* **lazy**: ``(px + delta).clip(0, 255)`` on a
+  :class:`repro.lazy.LazyTensor`; the engine captures the graph, fuses
+  it into one µProgram and dispatches it when ``numpy()`` is called;
+* **eager per-op**: the pre-fusion execution model — one catalog
+  ``run()`` per operation with every intermediate materialized in a
+  named row block and every broadcast constant RowCloned into rows —
+
+verifies both bit-identical against the numpy golden, and measures
+DRAM commands (module-wide AAP+AP, including the transfers each side
+performs), vertical-object announcements and host channel traffic.  A
+second lazy evaluation of a structurally identical graph is measured
+separately to show the kernel cache working (no new compiles).
+
+The **gate** (exit code 1) requires the lazy pipeline to issue at
+least ``--min-ratio`` (default 1.5x) fewer DRAM commands than the
+per-op eager execution — the tripwire for the whole frontend: a graph
+that stops fusing (or a partitioner that starts materializing
+needlessly) shows up here.  Results publish under the ``"lazy"`` gate
+of the shared ``bench_ci.json`` (see :mod:`gate_utils`).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lazy.py [--output bench_ci.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from bench_fusion import Region, build_system
+from gate_utils import publish
+
+from repro import lazy
+from repro.apps.brightness import PIXEL_BITS
+
+GATE_NAME = "lazy"
+GATE_KERNEL = "brightness_lazy"
+DELTA = 70
+
+
+def bench_brightness() -> dict:
+    """Lazy vs. per-op eager brightness on a fresh 16-bank module."""
+    sim = build_system()
+    device = lazy.device(sim)
+    rng = np.random.default_rng(23)
+    n = sim.module.lanes
+    pxv = rng.integers(0, 256, n)
+    golden = np.clip(pxv + DELTA, 0, 255)
+
+    # Lazy: transfer + one fused dispatch + read, all inside numpy().
+    with Region(sim) as lazy_region:
+        px = lazy.array(pxv, width=PIXEL_BITS, signed=True,
+                        device=device)
+        got = (px + DELTA).clip(0, 255).numpy()
+    assert np.array_equal(got, golden), "lazy brightness != golden"
+    report = device.last_report
+
+    # Eager per-op: the same pipeline, one run() per operation, with
+    # the transfer included for symmetry.
+    with Region(sim) as eager_region:
+        pixels = sim.array(pxv, PIXEL_BITS, signed=True)
+        delta_vec = sim.fill(DELTA, n, PIXEL_BITS, signed=True)
+        high = sim.fill(255, n, PIXEL_BITS, signed=True)
+        zero = sim.fill(0, n, PIXEL_BITS, signed=True)
+        shifted = sim.run("add", pixels, delta_vec)
+        shifted.signed = True
+        over = sim.run("gt", shifted, high)
+        clamped_high = sim.run("if_else", over, high, shifted)
+        clamped_high.signed = True
+        under = sim.run("gt", zero, clamped_high)
+        eager_out = sim.run("if_else", under, zero, clamped_high)
+        eager = eager_out.to_numpy().astype(np.int64)
+    assert np.array_equal(eager, golden), "eager brightness != golden"
+    for handle in (pixels, delta_vec, high, zero, shifted, over,
+                   clamped_high, under, eager_out):
+        handle.free()
+
+    # A second, structurally identical lazy graph: the kernel cache
+    # hits, so only transfer + replay + read remain.
+    kernels_before = device.kernel_cache_size
+    with Region(sim) as repeat_region:
+        px2 = lazy.array(pxv, width=PIXEL_BITS, signed=True,
+                         device=device)
+        again = (px2 + DELTA).clip(0, 255).numpy()
+    assert np.array_equal(again, golden)
+    kernels_compiled = device.kernel_cache_size - kernels_before
+
+    return {
+        "kernel": GATE_KERNEL,
+        "element_width": PIXEL_BITS,
+        "n_elements": n,
+        "lazy": lazy_region.report(sim),
+        "eager_per_op": eager_region.report(sim),
+        "repeat_lazy": repeat_region.report(sim),
+        "dispatches": report.n_dispatches,
+        "catalog_ops_fused": report.groups[0].n_nodes,
+        "kernels_compiled_on_repeat": kernels_compiled,
+    }
+
+
+def run_gate(min_ratio: float = 1.5) -> dict:
+    """Run the benchmark and return the gate section."""
+    entry = bench_brightness()
+    lazy_cmds = entry["lazy"]["dram_commands"]
+    eager_cmds = entry["eager_per_op"]["dram_commands"]
+    ratio = eager_cmds / lazy_cmds
+    entry["command_ratio"] = ratio
+    print(f"{GATE_KERNEL}: lazy {lazy_cmds} cmds "
+          f"({entry['dispatches']} dispatch for "
+          f"{entry['catalog_ops_fused']} ops), eager per-op "
+          f"{eager_cmds} cmds, ratio {ratio:.2f}x, "
+          f"repeat compiled {entry['kernels_compiled_on_repeat']} "
+          f"kernels")
+    gate_pass = (ratio >= min_ratio
+                 and entry["kernels_compiled_on_repeat"] == 0)
+    return {
+        "kernels": [entry],
+        "gate": {
+            "kernel": GATE_KERNEL,
+            "required_ratio": min_ratio,
+            "measured_ratio": ratio,
+            "cache_pass": entry["kernels_compiled_on_repeat"] == 0,
+            "pass": gate_pass,
+            "detail": (f"lazy brightness issues {ratio:.2f}x fewer "
+                       f"DRAM commands than per-op eager execution "
+                       f"(required: {min_ratio:.1f}x); repeat "
+                       f"evaluation compiled "
+                       f"{entry['kernels_compiled_on_repeat']} new "
+                       f"kernels (required: 0)"),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="bench_ci.json",
+                        help="shared gate report to merge into")
+    parser.add_argument("--min-ratio", type=float, default=1.5,
+                        help="required eager/lazy DRAM-command ratio "
+                             "on the brightness pipeline")
+    args = parser.parse_args(argv)
+    return publish(args.output, GATE_NAME, run_gate(args.min_ratio))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Run every CI benchmark gate and publish one unified report.
+
+The single entry point the CI benchmark job calls.  Executes all four
+regression gates —
+
+* ``vectorized`` — batched execution engine >= 5x the per-bank
+  interpreter on 8-bit add at 16 banks (``bench_ci_smoke``);
+* ``fusion`` — fused cnn kernel >= 1.5x fewer DRAM commands than the
+  unfused pipeline (``bench_fusion``);
+* ``cluster`` — 4-module sharded map >= 2.5x 1-module modeled
+  throughput, and an over-capacity working set pages to completion
+  (``bench_cluster``);
+* ``lazy`` — the lazy-frontend brightness pipeline >= 1.5x fewer DRAM
+  commands than per-op eager execution, with kernel-cache hits on
+  repeat (``bench_lazy``);
+
+— merges their sections into one schema-versioned ``bench_ci.json``
+(see :mod:`gate_utils` for the layout) and exits nonzero listing
+**every** failed gate, not just the first.  A gate that crashes is
+recorded as failed with the exception, and the remaining gates still
+run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--output bench_ci.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+
+import bench_ci_smoke
+import bench_cluster
+import bench_fusion
+import bench_lazy
+from gate_utils import merge_gate
+
+#: (gate name, module) in execution order; each module's run_gate()
+#: carries its own default threshold.
+GATES = (
+    ("vectorized", bench_ci_smoke),
+    ("fusion", bench_fusion),
+    ("cluster", bench_cluster),
+    ("lazy", bench_lazy),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="bench_ci.json",
+                        help="unified gate report (merged per gate)")
+    args = parser.parse_args(argv)
+
+    failed: list[str] = []
+    for name, module in GATES:
+        print(f"=== gate: {name} ===")
+        try:
+            section = module.run_gate()
+        except Exception as exc:  # noqa: BLE001 - record and continue
+            traceback.print_exc()
+            section = {"gate": {"pass": False,
+                                "detail": f"gate crashed: {exc!r}"}}
+        merge_gate(args.output, name, section)
+        gate = section["gate"]
+        verdict = "ok" if gate["pass"] else "FAILED"
+        print(f"=== gate: {name} {verdict} — "
+              f"{gate.get('detail', '')}\n")
+        if not gate["pass"]:
+            failed.append(name)
+
+    print(f"wrote {args.output} "
+          f"({len(GATES) - len(failed)}/{len(GATES)} gates passed)")
+    if failed:
+        print(f"FAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.exec` + :mod:`repro.isa` — control unit, transposition
   unit and the bbop ISA (Step 3 and system integration);
 * :mod:`repro.core` — the operation catalog and the Simdram facade;
+* :mod:`repro.lazy` — the programmer-transparent lazy tensor frontend
+  (ordinary array code captured into fused µPrograms);
 * :mod:`repro.ambit` — the Ambit baseline;
 * :mod:`repro.perf` — throughput/energy/area models for SIMDRAM, Ambit,
   CPU and GPU;

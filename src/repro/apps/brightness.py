@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import lazy
 from repro.apps.common import KernelModel, OpInvocation
 from repro.core import expr
 from repro.core.expr import Expr
@@ -103,6 +104,28 @@ def adjust_brightness_fused(sim: Simdram, image: np.ndarray,
     clamped = sim.map_expr(brightness_expr(delta), {"px": flat},
                            width=PIXEL_BITS)
     return clamped.astype(np.uint8).reshape(image.shape)
+
+
+def adjust_brightness_lazy(image: np.ndarray, delta: int,
+                           device=None) -> np.ndarray:
+    """Brightness-adjust an image with the **lazy tensor frontend**.
+
+    The programmer-transparent spelling: plain array arithmetic, zero
+    SIMDRAM-specific calls.  The ``+`` and ``clip`` record a lazy DAG;
+    ``numpy()`` fuses it into one µProgram (cached by DAG hash) and
+    dispatches it on ``device`` — a :class:`~repro.Simdram` module, a
+    :class:`~repro.SimdramCluster` (frames larger than one module's
+    lanes shard transparently), or the process default.  Bit-identical
+    to :func:`adjust_brightness_fused` and the unfused
+    :func:`adjust_brightness_simdram` pipeline.
+    """
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise OperationError("expected a uint8 image")
+    flat = image.reshape(-1).astype(np.int64)
+    px = lazy.array(flat, width=PIXEL_BITS, signed=True, device=device)
+    adjusted = (px + int(delta)).clip(0, 255)
+    return adjusted.numpy().astype(np.uint8).reshape(image.shape)
 
 
 def adjust_brightness_golden(image: np.ndarray, delta: int) -> np.ndarray:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import lazy
 from repro.apps.common import KernelModel, OpInvocation
 from repro.core import expr
 from repro.core.expr import Expr
@@ -274,6 +275,43 @@ def conv2d_relu_cluster(cluster, image: np.ndarray,
     result = acc.to_numpy().reshape(out_h, out_w)
     acc.free()
     return result
+
+
+def conv2d_relu_lazy(device, image: np.ndarray,
+                     weights: np.ndarray) -> np.ndarray:
+    """Valid 2-D convolution + ReLU via the **lazy tensor frontend**.
+
+    The programmer-transparent spelling of
+    :func:`conv2d_relu_simdram_fused`: plain loops and ``x * w + acc``
+    arithmetic, zero SIMDRAM-specific calls.  The whole im2col
+    dot-product graph is captured lazily; forcing the result lets the
+    evaluation engine partition it against the ``bbop`` three-source
+    limit (fusing *multiple* taps per µProgram, where the hand-written
+    eager pipeline dispatches one kernel per tap), fold each constant
+    tap weight into the MIG, and dispatch on ``device`` — a module, a
+    cluster (sharding + paging for feature maps beyond one module's
+    lanes and rows), or the process default.
+    """
+    image = np.asarray(image)
+    weights = np.asarray(weights)
+    if image.ndim != 2 or weights.ndim != 2:
+        raise OperationError("conv2d expects a 2-D image and kernel")
+    k = weights.shape[0]
+    if weights.shape != (k, k):
+        raise OperationError("kernel must be square")
+    out_h, out_w = image.shape[0] - k + 1, image.shape[1] - k + 1
+    if out_h < 1 or out_w < 1:
+        raise OperationError("kernel larger than image")
+
+    acc = None
+    for dy in range(k):
+        for dx in range(k):
+            patch = image[dy:dy + out_h, dx:dx + out_w].reshape(-1)
+            pixels = lazy.array(patch.astype(np.int64), width=ACC_BITS,
+                                signed=True, device=device)
+            term = pixels * int(weights[dy, dx])
+            acc = term if acc is None else term + acc
+    return acc.relu().numpy().reshape(out_h, out_w)
 
 
 def relu_simdram(sim: Simdram, values: np.ndarray,

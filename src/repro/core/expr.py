@@ -69,14 +69,23 @@ class Expr:
         return cached
 
     # -- sugar ---------------------------------------------------------
-    def __add__(self, other: "Expr") -> "Expr":
+    def __add__(self, other: "Expr | int") -> "Expr":
         return op("add", self, other)
 
-    def __sub__(self, other: "Expr") -> "Expr":
+    def __radd__(self, other: "Expr | int") -> "Expr":
+        return op("add", other, self)
+
+    def __sub__(self, other: "Expr | int") -> "Expr":
         return op("sub", self, other)
 
-    def __mul__(self, other: "Expr") -> "Expr":
+    def __rsub__(self, other: "Expr | int") -> "Expr":
+        return op("sub", other, self)
+
+    def __mul__(self, other: "Expr | int") -> "Expr":
         return op("mul", self, other)
+
+    def __rmul__(self, other: "Expr | int") -> "Expr":
+        return op("mul", other, self)
 
     def __repr__(self) -> str:
         if self.kind == KIND_INPUT:
@@ -99,17 +108,27 @@ def const(value: int) -> Expr:
     return Expr(KIND_CONST, value=int(value))
 
 
-def op(name: str, *children: Expr) -> Expr:
-    """Apply the catalog operation ``name`` to child expressions."""
+def op(name: str, *children: "Expr | int") -> Expr:
+    """Apply the catalog operation ``name`` to child expressions.
+
+    Bare Python integers are lifted to :func:`const` leaves, so graph
+    capture frontends (and plain ``x + 1`` sugar) need no explicit
+    ``const`` calls.
+    """
     spec = get_operation(name)
     if len(children) != spec.arity:
         raise OperationError(
             f"{name} takes {spec.arity} operands, got {len(children)}")
+    lifted = []
     for child in children:
-        if not isinstance(child, Expr):
+        if isinstance(child, (int, np.integer)) \
+                and not isinstance(child, (bool, np.bool_)):
+            child = const(int(child))
+        elif not isinstance(child, Expr):
             raise OperationError(
                 f"{name} operands must be Expr nodes, got {type(child)}")
-    return Expr(KIND_OP, op=name, children=tuple(children))
+        lifted.append(child)
+    return Expr(KIND_OP, op=name, children=tuple(lifted))
 
 
 def __getattr__(attr: str):
@@ -271,6 +290,64 @@ def analyze(root: Expr, width: int) -> ExprAnalysis:
                       for node, widths in const_widths.items()},
         out_width=root_spec.out_width(width),
         signed=root_spec.signed)
+
+
+def scaling_input_names(root: Expr) -> set[str]:
+    """Input leaves whose operand width scales with the pipeline width.
+
+    An input is *scaling* when its consumer slot is sized by the
+    pipeline element width (``add``'s operands, ``mul``'s operands, …)
+    and *fixed* when the slot has an intrinsic width regardless of the
+    pipeline (``if_else``'s 1-bit select).  The distinction drives
+    width inference: only scaling inputs can widen, and only they
+    constrain the inferred pipeline width.
+
+    Detected by analyzing the DAG at two probe widths and comparing the
+    required operand widths; a DAG that does not analyze at the probes
+    conservatively reports every input as scaling.
+    """
+    try:
+        low, high = analyze(root, 8), analyze(root, 16)
+    except OperationError:
+        return set(input_names(root))
+    return {name for name in low.input_widths
+            if low.input_widths[name] != high.input_widths[name]}
+
+
+def infer_width(root: Expr, leaf_widths: dict[str, int]) -> int:
+    """Infer the pipeline width of a DAG over mixed-width operands.
+
+    ``leaf_widths`` maps every input leaf to its *natural* bit width
+    (the width its values were declared at).  The inferred pipeline
+    width is the widest natural width among the scaling inputs, so
+    narrower operands widen (two's-complement re-encoding at transfer
+    time) instead of forcing the whole pipeline down to their width.
+    Fixed-width inputs (e.g. a 1-bit ``if_else`` select) must match
+    their slot exactly — widening would silently truncate semantics —
+    and are validated, not inferred over.
+    """
+    missing = {name for name in input_names(root) if name not in leaf_widths}
+    if missing:
+        raise OperationError(
+            f"infer_width: no width given for inputs {sorted(missing)}")
+    scaling = scaling_input_names(root)
+    candidates = [leaf_widths[name] for name in leaf_widths
+                  if name in scaling]
+    width = max(candidates) if candidates else max(leaf_widths.values())
+    analysis = analyze(root, width)
+    for name, have in leaf_widths.items():
+        needed = analysis.input_widths[name]
+        if name in scaling:
+            if have > needed:
+                raise OperationError(
+                    f"input {name!r} is {have}-bit but the pipeline "
+                    f"inferred width {needed}")
+        elif have != needed:
+            raise OperationError(
+                f"input {name!r} is {have}-bit but its operand slot is "
+                f"fixed at {needed}-bit (widening would change the "
+                f"operation's semantics)")
+    return width
 
 
 # ---------------------------------------------------------------------------

@@ -29,8 +29,9 @@ import numpy as np
 
 from repro.core.compiler import compile_operation
 from repro.core.expr import Expr, dag_hash
-from repro.core.fuse import FusedKernel
+from repro.core.fuse import FusedKernel, MultiKernel, multi_digest
 from repro.core.fuse import compile_expr as _compile_expr
+from repro.core.fuse import compile_multi as _compile_multi
 from repro.core.operations import (
     CATALOG,
     BuildFn,
@@ -135,6 +136,8 @@ class Simdram:
         self._programs: dict[tuple[str, int, str], MicroProgram] = {}
         #: Fused-kernel cache: (DAG hash, width, backend) -> FusedKernel.
         self._fused: dict[tuple[str, int, str], FusedKernel] = {}
+        #: Multi-root kernel cache: (joint hash, width, backend).
+        self._multi: dict[tuple[str, int, str], MultiKernel] = {}
         #: Stats of the most recent :meth:`run` call.
         self.last_stats: CommandStats | None = None
         #: Instruction log (every bbop issued), for tests/inspection.
@@ -185,6 +188,27 @@ class Simdram:
             self._fused[key] = kernel
         return kernel
 
+    def compile_multi(self, roots: dict[str, Expr], width: int,
+                      backend: str | None = None) -> MultiKernel:
+        """Compile several roots into one multi-output µProgram (cached).
+
+        The cache key is the joint content hash of the named roots plus
+        the element width and backend, exactly like
+        :meth:`compile_expr` for single-root kernels.
+        """
+        backend = backend or self.config.backend
+        key = (multi_digest(roots), width, backend)
+        kernel = self._multi.get(key)
+        if kernel is None:
+            options = (self.config.schedule if backend == "simdram"
+                       else None)
+            kernel = _compile_multi(
+                roots, width, backend=backend, options=options,
+                optimize_mig=self.config.optimize_mig)
+            self.control.install(kernel.program)
+            self._multi[key] = kernel
+        return kernel
+
     def adopt_program(self, program: MicroProgram,
                       backend: str | None = None) -> None:
         """Install an externally compiled µProgram into this module.
@@ -208,6 +232,15 @@ class Simdram:
         if self._fused.get(cache_key) is not kernel:
             self.control.install(kernel.program)
             self._fused[cache_key] = kernel
+
+    def adopt_multi(self, cache_key: tuple[str, int, str],
+                    kernel: MultiKernel) -> None:
+        """Install an externally compiled multi-root kernel (see
+        :meth:`adopt_program`); ``cache_key`` is ``(joint hash, width,
+        backend)``, matching :meth:`compile_multi`'s cache."""
+        if self._multi.get(cache_key) is not kernel:
+            self.control.install(kernel.program)
+            self._multi[cache_key] = kernel
 
     def register_operation(self, name: str, arity: int, build: BuildFn,
                            golden: GoldenFn, category: str = "user",
@@ -510,8 +543,92 @@ class Simdram:
         return self._dispatch(kernel.program, operands, out, n_elements,
                               engine=engine)
 
+    def run_multi(self, roots: dict[str, Expr],
+                  feeds: dict[str, SimdramArray], *,
+                  width: int | None = None, backend: str | None = None,
+                  engine: str = "auto") -> dict[str, np.ndarray]:
+        """Execute several expression roots as **one** fused µProgram.
+
+        All roots share one input pool (at most three DRAM-resident
+        leaves) and one packed output allocation: a single ``bbop``
+        dispatch computes every root, and each root's bit slice is read
+        back through the transposition unit.  Returns a mapping from
+        root name to its host vector (decoded per the root operation's
+        signedness).  Shared subexpressions between roots are computed
+        once — the stitched circuit dedups them structurally.
+        """
+        if not roots:
+            raise OperationError("run_multi needs at least one root")
+        if width is None:
+            if not feeds:
+                raise OperationError(
+                    "run_multi needs at least one input array")
+            width = max(array.width for array in feeds.values())
+        kernel = self.compile_multi(roots, width, backend)
+        return self.run_multi_kernel(kernel, feeds, engine=engine)
+
+    def run_multi_kernel(self, kernel: MultiKernel,
+                         feeds: dict[str, SimdramArray], *,
+                         engine: str = "auto") -> dict[str, np.ndarray]:
+        """Dispatch an already-compiled :class:`MultiKernel` (the entry
+        the cluster runtime uses after :meth:`adopt_multi`)."""
+        self._check_feed_names(kernel, feeds)
+        operands = tuple(feeds[name] for name in kernel.input_names)
+        for name, operand, expected in zip(kernel.input_names, operands,
+                                           kernel.input_widths):
+            if operand.width != expected:
+                raise OperationError(
+                    f"fused input {name!r} must be {expected}-bit, "
+                    f"got {operand.width}-bit")
+        n_elements = operands[0].n_elements
+        if any(o.n_elements != n_elements for o in operands):
+            raise OperationError(
+                f"fused expression: operand lengths differ: "
+                f"{[o.n_elements for o in operands]}")
+        for operand in operands:
+            self.tracker.lookup(operand.block.base)
+            operand.require_live()
+
+        program = kernel.program
+        results: dict[str, np.ndarray] = {}
+        with contextlib.ExitStack() as stack:
+            out_block = stack.enter_context(
+                self._allocator.reserve(kernel.total_out_width))
+            temp_block = (stack.enter_context(
+                self._allocator.reserve(program.n_temp_rows))
+                if program.n_temp_rows else None)
+            self._announce(out_block, n_elements, out_block.width)
+            stack.callback(self.tracker.release, out_block.base)
+
+            instruction = BbopInstruction.decode(bbop(
+                program.op_name, dst=out_block.base,
+                srcs=[o.block.base for o in operands],
+                n_elements=n_elements,
+                element_width=program.element_width).encode())
+            self.issued.append(instruction)
+
+            bases = {Space.OUTPUT: out_block.base}
+            instr_srcs = (instruction.src0, instruction.src1,
+                          instruction.src2)
+            for space, base in zip(INPUT_SPACES,
+                                   instr_srcs[:len(operands)]):
+                bases[space] = base
+            if temp_block is not None:
+                bases[Space.TEMP] = temp_block.base
+            layout = RowLayout(bases)
+            self.last_stats = self.control.execute_on_module(
+                program, self.module, layout, engine=engine)
+
+            for name, (offset, out_width) in kernel.slices.items():
+                view = RowBlock(out_block.base + offset, out_width)
+                results[name] = self.transposer.vertical_to_host(
+                    self.module, view, n_elements, out_width,
+                    signed=kernel.signed[name])
+        return results
+
     @staticmethod
-    def _check_feed_names(kernel: FusedKernel, feeds: dict) -> None:
+    def _check_feed_names(kernel: "FusedKernel | MultiKernel",
+                          feeds: dict) -> None:
         missing = set(kernel.input_names) - set(feeds)
         extra = set(feeds) - set(kernel.input_names)
         if missing or extra:

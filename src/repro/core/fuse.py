@@ -78,6 +78,37 @@ class FusedKernel:
         return self.program.op_name
 
 
+@dataclass(frozen=True)
+class MultiKernel:
+    """A compiled multi-root expression DAG: one µProgram, N outputs.
+
+    The multi-output analogue of :class:`FusedKernel`: all roots share
+    one input pool (at most three leaves) and one packed OUTPUT space;
+    ``slices`` gives each root's ``(bit offset, width)`` inside the
+    output block, so one dispatch computes every root at once.
+    """
+
+    program: MicroProgram
+    roots: tuple[tuple[str, Expr], ...]   # (name, root), given order
+    width: int                            # pipeline element width
+    backend: str
+    digest: str                           # joint content hash
+    input_names: tuple[str, ...]          # leaf names, operand-slot order
+    input_widths: tuple[int, ...]         # bit width of each operand slot
+    slices: dict[str, tuple[int, int]]    # root name -> (bit offset, width)
+    out_widths: dict[str, int]            # root name -> output bit width
+    signed: dict[str, bool]               # root name -> result signedness
+
+    @property
+    def op_name(self) -> str:
+        return self.program.op_name
+
+    @property
+    def total_out_width(self) -> int:
+        """Bits of the packed OUTPUT space (all roots contiguous)."""
+        return sum(self.out_widths.values())
+
+
 def fused_op_name(digest: str) -> str:
     """The µProgram/bbop name of a fused kernel, from its DAG hash."""
     return f"fused_{digest}"
@@ -199,16 +230,17 @@ def compile_expr(root: Expr, width: int, backend: str = "simdram",
 def compile_multi(roots: dict[str, Expr], width: int,
                   backend: str = "simdram",
                   options: ScheduleOptions | None = None,
-                  optimize_mig: bool = True,
-                  ) -> tuple[MicroProgram, dict[str, tuple[int, int]]]:
+                  optimize_mig: bool = True) -> MultiKernel:
     """Compile several root expressions into one multi-output µProgram.
 
     All roots draw from one shared pool of at most three input leaves
-    (with consistent widths).  The outputs are packed contiguously into
-    the OUTPUT space; the returned mapping gives each root's ``(bit
-    offset, width)`` slice.  This is the multi-output stitching entry
-    used directly at the µProgram level (the framework's public API
-    exposes single-root kernels).
+    (with consistent widths); shared subgraphs between roots are
+    stitched once (the circuit's structural hashing dedups them).  The
+    outputs are packed contiguously into the OUTPUT space; the returned
+    :class:`MultiKernel` records each root's ``(bit offset, width)``
+    slice.  This is the multi-root entry used by
+    :meth:`Simdram.run_multi` and the lazy frontend's
+    ``evaluate_all``.
     """
     if not roots:
         raise OperationError("compile_multi needs at least one root")
@@ -245,13 +277,27 @@ def compile_multi(roots: dict[str, Expr], width: int,
         mig, _ = optimize(mig)
 
     input_specs, input_rows = _input_interface(input_widths)
-    token = "+".join(f"{name}:{dag_hash(root)}"
-                     for name, root in sorted(roots.items()))
-    digest = hashlib.sha256(token.encode()).hexdigest()[:16]
+    digest = multi_digest(roots)
     name = fused_op_name(digest)
     program, slices = schedule_stitched(
         mig, op_name=name, backend=backend, element_width=width,
         input_specs=input_specs, input_rows=input_rows,
         output_groups=output_groups, options=options, source_hash=digest)
     register_opcode(name)
-    return program, slices
+    return MultiKernel(
+        program=program, roots=tuple(roots.items()), width=width,
+        backend=backend, digest=digest,
+        input_names=tuple(input_widths),
+        input_widths=tuple(input_widths.values()),
+        slices=slices,
+        out_widths={name: analysis.out_width
+                    for name, analysis in analyses.items()},
+        signed={name: analysis.signed
+                for name, analysis in analyses.items()})
+
+
+def multi_digest(roots: dict[str, Expr]) -> str:
+    """Joint content hash of a named multi-root DAG (the cache key)."""
+    token = "+".join(f"{name}:{dag_hash(root)}"
+                     for name, root in sorted(roots.items()))
+    return hashlib.sha256(token.encode()).hexdigest()[:16]

@@ -1,0 +1,179 @@
+"""Programmer-transparent lazy tensor frontend for SIMDRAM.
+
+The paper pitches SIMDRAM as an *end-to-end* framework: users write
+ordinary array code and the framework picks the in-DRAM implementation.
+This package is that frontend.  Arithmetic, comparisons, ``where``,
+reductions — the whole catalog — record into a lazy DAG instead of
+executing; forcing a result (``.numpy()``) fuses the captured graph
+into as few µPrograms as the ``bbop`` ISA's three-source limit allows,
+caches each kernel by DAG content hash, and dispatches on a single
+:class:`~repro.Simdram` module or a sharded, paged, optionally-async
+:class:`~repro.SimdramCluster` — with **zero** SIMDRAM-specific calls
+in user code::
+
+    from repro import lazy
+
+    px = lazy.array(image_flat, width=10, signed=True)
+    out = (px + delta).clip(0, 255)        # nothing executed yet
+    result = out.numpy()                   # one fused µProgram
+
+Compare the eager spelling of the same pipeline, which hand-builds an
+expression DAG and binds it explicitly::
+
+    root = expr.max(expr.min(expr.add(expr.inp("px"),
+                                      expr.const(delta)),
+                             expr.const(255)), expr.const(0))
+    result = sim.map_expr(root, {"px": image_flat}, width=10)
+
+Both run the identical fused kernel (same DAG hash, same cache entry);
+the lazy version just derives it from what the code already says.
+
+Devices: sources bind to a :class:`LazyDevice` — pass ``device=`` to
+:func:`array`, or :func:`set_device` once; the default device lazily
+instantiates a single ``Simdram()`` module.  Evaluating several
+results at once (:func:`evaluate_all`) packs them into multi-output
+kernels when they share an input pool, so common subexpressions are
+computed exactly once.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.core.operations import CATALOG
+from repro.errors import OperationError
+from repro.lazy.engine import EvalReport, GroupReport, LazyDevice
+from repro.lazy.tensor import LazyTensor, apply
+
+__all__ = [
+    "LazyTensor",
+    "LazyDevice",
+    "EvalReport",
+    "GroupReport",
+    "apply",
+    "array",
+    "from_device",
+    "where",
+    "evaluate_all",
+    "device",
+    "set_device",
+    "get_device",
+]
+
+#: The process-wide default device (created on first use).
+_default_device: LazyDevice | None = None
+
+#: LazyDevice per wrapped Simdram/SimdramCluster, so repeated wraps of
+#: one target share sources, kernel caches and identity checks.  Held
+#: by weak reference: a device (and the DRAM state behind it) lives
+#: exactly as long as something outside this registry — a source
+#: tensor, a user variable — still uses it.
+_devices: dict[int, weakref.ref] = {}
+
+
+def device(target) -> LazyDevice:
+    """The :class:`LazyDevice` wrapping ``target`` (cached per target).
+
+    ``target`` is a :class:`~repro.Simdram`,
+    :class:`~repro.SimdramCluster`, or an existing :class:`LazyDevice`
+    (returned unchanged).
+    """
+    if isinstance(target, LazyDevice):
+        return target
+    ref = _devices.get(id(target))
+    wrapped = ref() if ref is not None else None
+    # ``target is not wrapped.target`` guards id() reuse after the
+    # original object died.
+    if wrapped is None or wrapped.target is not target:
+        wrapped = LazyDevice(target)
+        key = id(target)
+
+        def _drop(dead, key=key):
+            if _devices.get(key) is dead:
+                del _devices[key]
+
+        _devices[key] = weakref.ref(wrapped, _drop)
+    return wrapped
+
+
+#: Internal alias: public functions take a ``device=`` keyword that
+#: shadows the :func:`device` helper.
+_as_device = device
+
+
+def set_device(target) -> LazyDevice:
+    """Install the default device for sources created without one."""
+    global _default_device
+    _default_device = device(target)
+    return _default_device
+
+
+def get_device() -> LazyDevice:
+    """The default device (instantiating a ``Simdram()`` on first use)."""
+    global _default_device
+    if _default_device is None:
+        from repro.core.framework import Simdram
+        _default_device = device(Simdram())
+    return _default_device
+
+
+def array(values, width: int | None = None, signed: bool | None = None,
+          device=None) -> LazyTensor:
+    """Create a lazy source tensor from host values.
+
+    Nothing touches DRAM yet; the evaluation engine transfers the
+    source at the width its consumers require.  ``width``/``signed``
+    default to the minimal encoding of the actual values.
+    """
+    target = _as_device(device) if device is not None else get_device()
+    return target.array(values, width=width, signed=signed)
+
+
+def from_device(handle, device=None) -> LazyTensor:
+    """Wrap a DRAM-resident :class:`~repro.SimdramArray` /
+    :class:`~repro.runtime.DeviceTensor` as a lazy source (caller keeps
+    ownership of the handle's rows)."""
+    if device is None:
+        target = getattr(handle, "_framework", None) \
+            or getattr(handle, "_cluster", None)
+        if target is None:
+            raise OperationError(
+                f"cannot infer the device behind {type(handle).__name__}; "
+                "pass device= explicitly")
+        device = target
+    return _as_device(device).from_device(handle)
+
+
+def where(condition, a, b) -> LazyTensor:
+    """Elementwise select, ``numpy.where``-style: ``condition ? a : b``."""
+    return apply("if_else", condition, a, b)
+
+
+def evaluate_all(tensors: list[LazyTensor], wait: bool = True,
+                 width: int | None = None) -> list:
+    """Force several lazy tensors together (multi-output fusion).
+
+    Roots sharing one 3-leaf input pool come back from a *single*
+    multi-output µProgram dispatch; shared subexpressions are stitched
+    and computed once.  All tensors must live on one device.
+    """
+    if not tensors:
+        return []
+    lazies = [t for t in tensors if isinstance(t, LazyTensor)]
+    if len(lazies) != len(tensors):
+        raise OperationError("evaluate_all expects LazyTensors")
+    dev = lazies[0].device
+    return dev.evaluate(lazies, width=width, wait=wait)
+
+
+def __getattr__(attr: str):
+    """Expose every catalog operation as ``lazy.<name>(*operands)``."""
+    if attr in CATALOG:
+        def build(*operands, _name: str = attr) -> LazyTensor:
+            return apply(_name, *operands)
+
+        build.__name__ = attr
+        build.__doc__ = (f"Lazy builder for {attr!r}: "
+                         f"{CATALOG[attr].description}.")
+        return build
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")

@@ -32,8 +32,9 @@ import numpy as np
 from repro.core.compiler import compile_operation
 from repro.core.expr import Expr, dag_hash
 from repro.core.framework import Simdram, SimdramConfig
-from repro.core.fuse import FusedKernel
+from repro.core.fuse import FusedKernel, MultiKernel, multi_digest
 from repro.core.fuse import compile_expr as _compile_expr
+from repro.core.fuse import compile_multi as _compile_multi
 from repro.core.operations import get_operation
 from repro.dram.commands import CommandStats
 from repro.errors import OperationError
@@ -84,6 +85,7 @@ class SimdramCluster:
         self.scheduler = JobScheduler(n_modules)
         self._programs: dict[tuple[str, int, str], MicroProgram] = {}
         self._kernels: dict[tuple[str, int, str], FusedKernel] = {}
+        self._multis: dict[tuple[str, int, str], MultiKernel] = {}
         #: Modeled busy time per module, simulated nanoseconds.  Only
         #: the module's own worker thread writes its entry.
         self.busy_ns = [0.0] * n_modules
@@ -137,6 +139,23 @@ class SimdramCluster:
                 root, width, backend=backend, options=options,
                 optimize_mig=self.config.optimize_mig)
             self._kernels[key] = kernel
+        return key, kernel
+
+    def compile_multi(self, roots: dict[str, Expr], width: int,
+                      backend: str | None = None
+                      ) -> tuple[tuple[str, int, str], MultiKernel]:
+        """Compile a multi-root kernel once; returns its cache key too
+        (the key modules adopt it under)."""
+        backend = backend or self.config.backend
+        key = (multi_digest(roots), width, backend)
+        kernel = self._multis.get(key)
+        if kernel is None:
+            options = (self.config.schedule if backend == "simdram"
+                       else None)
+            kernel = _compile_multi(
+                roots, width, backend=backend, options=options,
+                optimize_mig=self.config.optimize_mig)
+            self._multis[key] = kernel
         return key, kernel
 
     # ------------------------------------------------------------------
@@ -311,6 +330,75 @@ class SimdramCluster:
         return self._submit_expr(root, feeds, width=width,
                                  backend=backend,
                                  engine=engine).result()
+
+    def run_multi(self, roots: dict[str, Expr],
+                  feeds: dict[str, DeviceTensor], *,
+                  width: int | None = None, backend: str | None = None,
+                  engine: str = "auto") -> dict[str, np.ndarray]:
+        """Sharded :meth:`Simdram.run_multi`: one multi-output fused
+        dispatch per shard, each root's slices gathered back to host.
+
+        All roots share at most three DRAM-resident input tensors; the
+        kernel is compiled once at the cluster level and adopted by
+        every participating module.  Returns root name -> host vector.
+        """
+        if not roots:
+            raise OperationError("run_multi needs at least one root")
+        if not feeds:
+            raise OperationError("run_multi needs at least one tensor")
+        for tensor in feeds.values():
+            tensor.require_live()
+        if width is None:
+            width = max(t.width for t in feeds.values())
+        key, kernel = self.compile_multi(roots, width, backend)
+        names = list(kernel.input_names)
+        missing = set(names) - set(feeds)
+        extra = set(feeds) - set(names)
+        if missing or extra:
+            raise OperationError(
+                f"fused expression inputs are {sorted(names)}"
+                + (f"; missing {sorted(missing)}" if missing else "")
+                + (f"; unexpected {sorted(extra)}" if extra else ""))
+        operands = tuple(feeds[name] for name in names)
+        for name, tensor, expected in zip(names, operands,
+                                          kernel.input_widths):
+            if tensor.width != expected:
+                raise OperationError(
+                    f"fused input {name!r} must be {expected}-bit, "
+                    f"got {tensor.width}-bit")
+        self._aligned_shards(operands, "fused multi expression")
+
+        def run_shard(index: int) -> dict[str, np.ndarray]:
+            in_shards = [t.shards[index] for t in operands]
+            module_index = in_shards[0].module_index
+            sim = self.modules[module_index]
+            pager = self.pagers[module_index]
+            before = sim.module.total_stats()
+            with pager.pinning(in_shards):
+                for shard in in_shards:
+                    pager.ensure_resident(shard)
+                sim.adopt_multi(key, kernel)
+                chunk = sim.run_multi_kernel(
+                    kernel,
+                    dict(zip(names, (s.array for s in in_shards))),
+                    engine=engine)
+            self._account(module_index, before)
+            return chunk
+
+        def merge(parts: list[dict[str, np.ndarray]]
+                  ) -> dict[str, np.ndarray]:
+            return {name: np.concatenate([part[name] for part in parts])
+                    for name in kernel.slices}
+
+        subtasks: list[Subtask] = [
+            (shard.module_index, (lambda i=index: run_shard(i)))
+            for index, shard in enumerate(operands[0].shards)
+        ]
+        reads = list({id(t): t for t in operands}.values())
+        future = self.scheduler.submit(subtasks, reads=reads,
+                                       finalizer=merge,
+                                       label=f"multi@{width}")
+        return future.result()
 
     def _aligned_shards(self, operands: Sequence[DeviceTensor],
                         what: str) -> None:

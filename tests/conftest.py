@@ -5,6 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# Registers the ci/dev/thorough hypothesis profiles at collection time
+# (before any test module loads); see that module for the policy.
+import hypothesis_profiles  # noqa: F401
 from repro.core.framework import Simdram, SimdramConfig
 from repro.dram.geometry import DramGeometry
 from repro.dram.subarray import Subarray

@@ -1,0 +1,51 @@
+"""Hypothesis profiles: fast PR runs vs. thorough nightly sweeps.
+
+Imported by ``tests/conftest.py`` at collection time, so the profiles
+are registered before any test module loads.  Select a profile with
+``pytest --hypothesis-profile=ci`` (what PR CI uses), the
+``HYPOTHESIS_PROFILE`` environment variable, or leave the default
+``dev``.  Suites that pin their own example budgets scale them through
+:func:`scaled_examples`, so one switch drives the whole suite.
+
+Lives in its own module (not ``conftest.py``) because the repo has two
+conftests — ``tests/`` and ``benchmarks/`` — and ``import conftest``
+resolves to whichever pytest registered first.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+_SUPPRESS = [HealthCheck.too_slow, HealthCheck.data_too_large]
+
+#: max_examples the ``dev`` profile runs; :func:`scaled_examples`
+#: treats a suite's pinned budget as calibrated against this profile.
+DEV_EXAMPLES = 30
+
+settings.register_profile("ci", max_examples=10, deadline=None,
+                          suppress_health_check=_SUPPRESS)
+settings.register_profile("dev", max_examples=DEV_EXAMPLES, deadline=None,
+                          suppress_health_check=_SUPPRESS)
+settings.register_profile("thorough", max_examples=4 * DEV_EXAMPLES,
+                          deadline=None, suppress_health_check=_SUPPRESS)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def scaled_examples(base: int) -> int:
+    """Scale a suite-specific example budget by the active profile.
+
+    ``base`` is the budget the suite wants under the ``dev`` profile;
+    the ``ci`` profile shrinks it proportionally (fast PR feedback) and
+    ``thorough`` grows it (nightly sweeps).
+    """
+    return max(1, base * settings().max_examples // DEV_EXAMPLES)
+
+
+#: Skip marker for sweeps that only the scheduled nightly CI job runs
+#: (set NIGHTLY=1 to run them locally).
+nightly = pytest.mark.skipif(
+    os.environ.get("NIGHTLY") != "1",
+    reason="nightly-only full sweep (set NIGHTLY=1 to run)")

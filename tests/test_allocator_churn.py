@@ -18,6 +18,8 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from hypothesis_profiles import scaled_examples
+
 from repro.dram.geometry import DramGeometry
 from repro.errors import AllocationError
 from repro.exec.memory import VerticalAllocator
@@ -40,7 +42,7 @@ steps = st.lists(
     min_size=1, max_size=60)
 
 
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=scaled_examples(120), deadline=None)
 @given(steps)
 def test_churn_matches_reference_model(sequence):
     allocator = make_allocator()

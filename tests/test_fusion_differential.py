@@ -26,6 +26,7 @@ import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
+from hypothesis_profiles import scaled_examples
 from repro.core import expr as E
 from repro.core.expr import analyze, dag_hash, input_names, n_ops, post_order
 from repro.core.framework import Simdram, SimdramConfig
@@ -236,21 +237,24 @@ def differential_check(sim: Simdram, root, width: int,
 # the property
 # ---------------------------------------------------------------------------
 class TestFusedDifferential:
-    @settings(max_examples=20, deadline=None,
+    # Example budgets are calibrated for the ``dev`` hypothesis profile
+    # and scale with ``--hypothesis-profile`` (ci shrinks, thorough
+    # grows) — see conftest.scaled_examples.
+    @settings(max_examples=scaled_examples(20), deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(root=dags(4), data=st.data())
     def test_width_4(self, root, data):
         self._check(root, 4, data)
 
-    @settings(max_examples=12, deadline=None,
+    @settings(max_examples=scaled_examples(12), deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(root=dags(8), data=st.data())
     def test_width_8(self, root, data):
         self._check(root, 8, data)
 
-    @settings(max_examples=6, deadline=None,
+    @settings(max_examples=scaled_examples(6), deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(root=dags(16), data=st.data())
@@ -380,7 +384,10 @@ class TestMultiOutputStitching:
         width = 8
         x, y = E.inp("x"), E.inp("y")
         roots = {"total": E.add(x, y), "delta": E.sub(x, y)}
-        program, slices = compile_multi(roots, width)
+        kernel = compile_multi(roots, width)
+        program, slices = kernel.program, kernel.slices
+        assert kernel.total_out_width == 16
+        assert kernel.signed == {"total": False, "delta": False}
         assert set(slices) == {"total", "delta"}
         widths = {name: w for name, (_, w) in slices.items()}
         assert widths == {"total": 8, "delta": 8}

@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from hypothesis_profiles import scaled_examples
+
 from repro.core.framework import Simdram, SimdramConfig
 from repro.core.operations import get_operation
 from repro.dram.geometry import DramGeometry
@@ -43,7 +45,7 @@ def _run(op_name, raw_operands):
     return got, expected
 
 
-common = settings(max_examples=25, deadline=None,
+common = settings(max_examples=scaled_examples(25), deadline=None,
                   suppress_health_check=[HealthCheck.too_slow])
 
 

@@ -11,6 +11,8 @@ beyond the hand-written cases.
 import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from hypothesis_profiles import scaled_examples
+
 from repro.dram.geometry import DramGeometry
 from repro.dram.rows import data_row
 from repro.dram.subarray import Subarray
@@ -45,7 +47,7 @@ def random_mig_spec(draw):
     return ops, outputs, reuse
 
 
-@settings(max_examples=60, deadline=None,
+@settings(max_examples=scaled_examples(60), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(random_mig_spec(), st.integers(min_value=0, max_value=2**31 - 1))
 def test_scheduled_program_matches_mig_evaluation(spec, seed):
