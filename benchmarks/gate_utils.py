@@ -1,8 +1,9 @@
 """Shared plumbing for the CI benchmark gates.
 
 Every gate script (``bench_ci_smoke``, ``bench_fusion``,
-``bench_cluster``, ``bench_lazy``) publishes its results as one
-*section* of a single schema-versioned ``bench_ci.json``::
+``bench_cluster``, ``bench_lazy``, ``bench_serve``) publishes its
+results as one *section* of a single schema-versioned
+``bench_ci.json``::
 
     {
       "schema_version": 2,
@@ -11,7 +12,8 @@ Every gate script (``bench_ci_smoke``, ``bench_fusion``,
         "vectorized": {..., "gate": {"pass": true, ...}},
         "fusion":     {...},
         "cluster":    {...},
-        "lazy":       {...}
+        "lazy":       {...},
+        "serve":      {...}
       }
     }
 

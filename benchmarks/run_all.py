@@ -14,6 +14,9 @@ regression gates —
 * ``lazy`` — the lazy-frontend brightness pipeline >= 1.5x fewer DRAM
   commands than per-op eager execution, with kernel-cache hits on
   repeat (``bench_lazy``);
+* ``serve`` — lane-packed serving of 64 concurrent single-lane
+  requests >= 3x the one-dispatch-per-request modeled throughput at
+  >= 50% lane occupancy (``bench_serve``);
 
 — merges their sections into one schema-versioned ``bench_ci.json``
 (see :mod:`gate_utils` for the layout) and exits nonzero listing
@@ -36,6 +39,7 @@ import bench_ci_smoke
 import bench_cluster
 import bench_fusion
 import bench_lazy
+import bench_serve
 from gate_utils import merge_gate
 
 #: (gate name, module) in execution order; each module's run_gate()
@@ -45,6 +49,7 @@ GATES = (
     ("fusion", bench_fusion),
     ("cluster", bench_cluster),
     ("lazy", bench_lazy),
+    ("serve", bench_serve),
 )
 
 

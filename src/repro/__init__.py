@@ -29,7 +29,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.apps` — the seven application kernels of the paper;
 * :mod:`repro.runtime` — the sharded multi-module runtime: clusters,
   device-resident tensors, the paging allocator and the async job
-  scheduler.
+  scheduler;
+* :mod:`repro.serve` — the multi-tenant serving layer: lane-packing
+  request batcher, admission control, weighted fair scheduling and
+  serving telemetry.
 """
 
 from repro.core.framework import Simdram, SimdramArray, SimdramConfig
@@ -38,14 +41,17 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DramTiming
 from repro.errors import SimdramError
 from repro.runtime import DeviceTensor, SimdramCluster
+from repro.serve import ServeConfig, SimdramService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Simdram",
     "SimdramArray",
     "SimdramConfig",
     "SimdramCluster",
+    "SimdramService",
+    "ServeConfig",
     "DeviceTensor",
     "CATALOG",
     "PAPER_OPERATIONS",

@@ -8,6 +8,7 @@ Examples::
     python -m repro compare add 32             # all platforms, one op
     python -m repro demo                       # end-to-end functional run
     python -m repro cluster --modules 4 --op add --n 4096
+    python -m repro serve-demo --requests 96   # multi-tenant serving demo
 """
 
 from __future__ import annotations
@@ -134,6 +135,90 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok and map_ok else 1
 
 
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    """Load-generator demo of the multi-tenant serving layer: many
+    small requests from weighted tenants lane-pack into shared wide
+    dispatches; every result is verified against numpy."""
+    from repro.core import expr
+    from repro.core.operations import get_operation
+    from repro.runtime import SimdramCluster
+    from repro.serve import ServeConfig, SimdramService
+    from repro.util.bitops import to_unsigned
+
+    width = args.width
+    geometry = DramGeometry.sim_small(
+        cols=args.cols, data_rows=args.data_rows, banks=args.banks)
+    config = SimdramConfig(geometry=geometry)
+    rng = np.random.default_rng(args.seed)
+    brighten = expr.relu(expr.sub(expr.inp("px"), expr.const(40)))
+    catalog_ops = ("add", "mul", "min")
+    tenants = {"free": 1.0, "pro": 4.0, "batch": 2.0}
+
+    with SimdramCluster(args.modules, config=config) as cluster, \
+            SimdramService(
+                cluster,
+                ServeConfig(max_wait_s=args.max_wait_ms / 1e3),
+                tenants=tenants) as service:
+        warm = service.warmup(
+            [(op, width) for op in catalog_ops] + [(brighten, width)])
+
+        handles = []
+        for i in range(args.requests):
+            tenant = list(tenants)[i % len(tenants)]
+            n = int(rng.integers(1, args.max_request_lanes + 1))
+            if i % 4 == 3:
+                px = rng.integers(0, 1 << width, n)
+                golden = np.asarray(expr.golden(
+                    brighten, {"px": px}, width))
+                handle = service.submit(brighten, feeds={"px": px},
+                                        width=width, tenant=tenant)
+            else:
+                op = catalog_ops[i % len(catalog_ops)]
+                spec = get_operation(op)
+                vecs = [rng.integers(0, 1 << w, n)
+                        for w in spec.in_widths(width)]
+                golden = np.asarray(spec.golden(vecs, width))
+                handle = service.submit(op, *vecs, width=width,
+                                        tenant=tenant)
+            handles.append((handle, golden))
+
+        n_ok = 0
+        for handle, golden in handles:
+            out_width = width  # every demo op is width-preserving
+            got = to_unsigned(handle.result(120), out_width)
+            n_ok += bool(np.array_equal(got, golden))
+        stats = service.stats()
+
+    packing = stats["packing"]
+    latency = stats["latency_ms"]
+    rows = [
+        ("requests verified", f"{n_ok} / {args.requests}"),
+        ("kernels warmed", warm["n_kernels"]),
+        ("dispatches", packing["dispatches"]),
+        ("requests / dispatch",
+         round(packing["requests_per_dispatch"], 2)),
+        ("lane occupancy", f"{packing['lane_occupancy']:.0%}"),
+        ("packing efficiency",
+         f"{packing['packing_efficiency']:.0%} dispatches saved"),
+        ("latency p50 / p99 (ms)",
+         f"{latency['p50']:.2f} / {latency['p99']:.2f}"),
+        ("spills / fills",
+         f"{stats['paging']['n_spills']} / "
+         f"{stats['paging']['n_fills']}"),
+        ("modeled busy (us)",
+         round(stats["modeled_busy_ns"] / 1e3, 2)),
+    ]
+    for tenant, counters in stats["tenants"].items():
+        rows.append((f"tenant {tenant!r}",
+                     f"{counters['completed']} requests, "
+                     f"{counters['lanes']} lanes"))
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.requests} requests from {len(tenants)} tenants "
+              f"on a {args.modules}-module cluster"))
+    return 0 if n_ok == args.requests else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -177,6 +262,23 @@ def build_parser() -> argparse.ArgumentParser:
                                      "values exercise the paging layer)")
     cluster_parser.add_argument("--banks", type=int, default=2)
     cluster_parser.add_argument("--seed", type=int, default=0)
+
+    serve_parser = sub.add_parser(
+        "serve-demo",
+        help="run a multi-tenant lane-packing serving demo")
+    serve_parser.add_argument("--requests", type=int, default=96,
+                              help="requests to generate")
+    serve_parser.add_argument("--max-request-lanes", type=int, default=8,
+                              help="largest per-request vector")
+    serve_parser.add_argument("--modules", type=int, default=2)
+    serve_parser.add_argument("--width", type=int, default=8)
+    serve_parser.add_argument("--max-wait-ms", type=float, default=20.0,
+                              help="batching window before a partial "
+                                   "pack group flushes")
+    serve_parser.add_argument("--cols", type=int, default=64)
+    serve_parser.add_argument("--data-rows", type=int, default=256)
+    serve_parser.add_argument("--banks", type=int, default=2)
+    serve_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -186,6 +288,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "demo": _cmd_demo,
     "cluster": _cmd_cluster,
+    "serve-demo": _cmd_serve_demo,
 }
 
 

@@ -255,6 +255,14 @@ class Simdram:
         """Names of all currently registered operations."""
         return sorted(CATALOG)
 
+    @property
+    def kernel_cache_size(self) -> int:
+        """Compiled kernels cached on this module (catalog µPrograms,
+        fused single-root and multi-root kernels) — the telemetry the
+        lazy engine and the serving layer report."""
+        return (len(self._programs) + len(self._fused)
+                + len(self._multi))
+
     # ------------------------------------------------------------------
     # data movement
     # ------------------------------------------------------------------

@@ -114,6 +114,23 @@ def fused_op_name(digest: str) -> str:
     return f"fused_{digest}"
 
 
+def kernel_identity(op_or_root: "str | Expr", width: int,
+                    backend: str = "simdram") -> tuple[str, int, str]:
+    """Canonical identity of the kernel a dispatch will execute.
+
+    Catalog operations are identified by name, expression DAGs by
+    their stable content hash — the same keys the framework's
+    program/kernel caches use.  Two requests with equal identities
+    replay the *same* µProgram over the same operand interface, so
+    they may share one wide dispatch with their lanes concatenated;
+    this is the compatibility predicate the serving layer's lane
+    packer batches on.
+    """
+    if isinstance(op_or_root, Expr):
+        return (fused_op_name(dag_hash(op_or_root)), width, backend)
+    return (str(op_or_root), width, backend)
+
+
 def _stitch_root(circuit: Circuit, root: Expr, width: int,
                  input_widths: dict[str, int], style: str,
                  slot_of: dict[str, int]) -> list[Net]:

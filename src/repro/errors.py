@@ -48,5 +48,9 @@ class OperationError(SimdramError):
     """An operation is unknown, or its operands are invalid."""
 
 
+class AdmissionError(SimdramError):
+    """The serving layer rejected a request (queue full or closed)."""
+
+
 class ConfigError(SimdramError):
     """A performance/energy/reliability model was configured inconsistently."""

@@ -112,7 +112,7 @@ class _ModuleBackend:
         return handle.status == "live"
 
     def kernel_cache_size(self) -> int:
-        return len(self.sim._fused) + len(self.sim._multi)
+        return self.sim.kernel_cache_size
 
 
 class _ClusterBackend:
@@ -153,7 +153,7 @@ class _ClusterBackend:
         return handle.status == "live"
 
     def kernel_cache_size(self) -> int:
-        return len(self.cluster._kernels) + len(self.cluster._multis)
+        return self.cluster.kernel_cache_size
 
 
 # ---------------------------------------------------------------------------
@@ -290,7 +290,12 @@ class LazyDevice:
 
     @property
     def kernel_cache_size(self) -> int:
-        """Fused kernels (single- and multi-root) cached on the target."""
+        """Compiled kernels cached on the target — fused single- and
+        multi-root kernels *plus* catalog µPrograms (the target's
+        whole compile cache, ``Simdram.kernel_cache_size``).  Compare
+        before/after identical evaluations to prove cache hits; note
+        that an interleaved first-time *eager* catalog op also grows
+        the counter."""
         return self.backend.kernel_cache_size()
 
     # ------------------------------------------------------------------
@@ -404,6 +409,42 @@ class LazyDevice:
         if reports:
             self.last_report = EvalReport(tuple(reports))
         return outs
+
+    def export(self, root: LazyTensor
+               ) -> tuple[Expr, dict[str, np.ndarray], int]:
+        """Lower a captured graph to ``(expr, host feeds, width)``.
+
+        The per-request lowering the serving layer uses: the graph is
+        rebuilt over its *source* leaves (named ``t0, t1, …`` in
+        discovery order, so structurally identical requests share one
+        kernel identity and one compiled µProgram), every source's
+        canonical host values become a feed vector, and the width is
+        the graph's inferred pipeline width.  Graphs drawing on more
+        than three distinct sources do not fit one ``bbop`` dispatch
+        and are rejected — a serving request is exactly one kernel,
+        there is no partitioner behind it.
+        """
+        if not isinstance(root, LazyTensor) or root.kind != KIND_OP:
+            raise OperationError(
+                "export expects a captured operation graph (a "
+                "LazyTensor produced by catalog operations)")
+        if root.device is not self:
+            raise OperationError(
+                "tensor lives on a different lazy device")
+        width = self._infer(root)
+        names: dict[int, str] = {}
+        leaves: dict[str, LazyTensor] = {}
+        built = _build_expr(root, lambda n: n.kind == KIND_SOURCE,
+                            names, leaves)
+        if len(leaves) > MAX_FUSED_INPUTS:
+            raise OperationError(
+                f"graph draws on {len(leaves)} distinct sources; one "
+                f"dispatch binds at most {MAX_FUSED_INPUTS} (evaluate "
+                "the graph through the lazy engine instead, which "
+                "partitions it)")
+        feeds = {name: self._host_values(node).copy()
+                 for name, node in leaves.items()}
+        return built, feeds, width
 
     def _infer(self, root: LazyTensor) -> int:
         """Inferred pipeline width of a root's full captured graph.

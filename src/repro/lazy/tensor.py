@@ -220,6 +220,11 @@ class LazyTensor:
             raise OperationError("a broadcast constant has no length")
         return self.n_elements
 
+    @property
+    def shape(self) -> tuple[int]:
+        """Numpy-style shape (lazy tensors are 1-D vectors)."""
+        return (len(self),)
+
     def __repr__(self) -> str:
         if self.kind == KIND_CONST:
             return f"LazyTensor(const {self.value})"
@@ -227,7 +232,8 @@ class LazyTensor:
         state = ("source" if self.kind == KIND_SOURCE
                  else f"{self.op}, {len(self._results)} cached")
         width = f" x {sign}{self.width}" if self.width else ""
-        return f"LazyTensor({self.n_elements}{width}, {state})"
+        return (f"LazyTensor(shape=({self.n_elements},){width}, "
+                f"{state})")
 
 
 def _lift(operand, device: "LazyDevice") -> LazyTensor:

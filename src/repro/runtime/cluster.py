@@ -106,6 +106,13 @@ class SimdramCluster:
         """Total SIMD lanes across the cluster."""
         return self.lanes_per_module * self.n_modules
 
+    @property
+    def kernel_cache_size(self) -> int:
+        """Compiled kernels cached at the cluster level (catalog
+        µPrograms, fused single-root and multi-root kernels)."""
+        return (len(self._programs) + len(self._kernels)
+                + len(self._multis))
+
     # ------------------------------------------------------------------
     # cluster-level compilation (shared across modules)
     # ------------------------------------------------------------------

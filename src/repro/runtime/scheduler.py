@@ -149,10 +149,10 @@ class JobScheduler:
                label: str = "") -> Future:
         """Queue one job; returns its future (result = finalizer output,
         or the list of per-subtask results)."""
-        if self._closed:
-            raise ExecutionError("scheduler is closed")
         job = _Job(self, next(self._ids), label, subtasks, finalizer)
         with self._lock:
+            if self._closed:
+                raise ExecutionError("scheduler is closed")
             deps: set[Future] = set()
             for tensor in reads:
                 if tensor.last_writer is not None:
@@ -206,9 +206,25 @@ class JobScheduler:
             return len(self._outstanding)
 
     def close(self) -> None:
-        """Drain outstanding jobs and stop the workers."""
-        if not self._closed:
-            self.barrier(raise_on_error=False)
+        """Drain outstanding jobs and stop the workers (idempotent).
+
+        Safe to call repeatedly and from several threads at once: the
+        first caller flips ``_closed`` (under the same lock ``submit``
+        takes, so no new job can slip in), drains what was already
+        queued, and shuts the worker executors down; every later call
+        returns immediately.  Submission after close raises
+        :class:`~repro.errors.ExecutionError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
             self._closed = True
-            for executor in self._executors:
-                executor.shutdown(wait=True)
+        self.barrier(raise_on_error=False)
+        for executor in self._executors:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

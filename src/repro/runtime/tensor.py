@@ -125,12 +125,21 @@ class DeviceTensor:
         if self.status == "live":
             self._cluster.free_tensor(self)
 
+    @property
+    def shape(self) -> tuple[int]:
+        """Numpy-style shape (tensors are 1-D vectors)."""
+        return (self.n_elements,)
+
+    @property
+    def dtype(self) -> str:
+        """Logical element type, numpy-flavored (``u8``/``i16``/…)."""
+        return f"{'i' if self.signed else 'u'}{self.width}"
+
     def __len__(self) -> int:
         return self.n_elements
 
     def __repr__(self) -> str:
-        sign = "i" if self.signed else "u"
         resident = sum(1 for s in self.shards if s.resident)
-        return (f"DeviceTensor({self.n_elements} x {sign}{self.width}, "
+        return (f"DeviceTensor(shape={self.shape}, {self.dtype}, "
                 f"{len(self.shards)} shards, {resident} resident, "
                 f"{self.status})")

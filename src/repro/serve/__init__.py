@@ -1,0 +1,40 @@
+"""Multi-tenant serving layer with SIMD lane-packing.
+
+The system layer that turns *many small concurrent user requests* into
+*few wide in-DRAM dispatches* — the traffic shape SIMDRAM is built
+for.  See :mod:`repro.serve.service` for the architecture:
+
+    request -> admission control -> per-tenant fair queue
+            -> lane packer (same kernel identity + width => one group)
+            -> shared wide dispatch on a Simdram / SimdramCluster
+            -> per-request result slices scattered to ServeHandles
+
+Quick start::
+
+    from repro import SimdramCluster
+    from repro.serve import ServeConfig, SimdramService
+
+    with SimdramCluster(4) as cluster, \\
+            SimdramService(cluster) as svc:
+        svc.warmup([("add", 8)])
+        handles = [svc.submit("add", a, b, tenant=user)
+                   for user, a, b in traffic]
+        results = [h.result() for h in handles]
+        print(svc.stats()["packing"])
+"""
+
+from repro.errors import AdmissionError
+from repro.serve.batcher import LanePacker, PackGroup, PreparedRequest
+from repro.serve.metrics import ServeMetrics
+from repro.serve.service import ServeConfig, ServeHandle, SimdramService
+
+__all__ = [
+    "SimdramService",
+    "ServeConfig",
+    "ServeHandle",
+    "ServeMetrics",
+    "LanePacker",
+    "PackGroup",
+    "PreparedRequest",
+    "AdmissionError",
+]

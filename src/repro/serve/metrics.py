@@ -1,0 +1,167 @@
+"""Telemetry for the serving layer.
+
+One :class:`ServeMetrics` instance per :class:`~repro.serve.SimdramService`
+collects everything an operator watches on a serving box:
+
+* **request counters** — submitted / completed / failed / rejected, in
+  total and per tenant;
+* **latency** — wall time from ``submit`` to handle resolution, kept in
+  a bounded reservoir so ``p50``/``p99`` stay cheap under sustained
+  load;
+* **packing** — how well the lane packer amortizes dispatches:
+  requests per dispatch, *lane occupancy* (lanes carried per dispatch
+  over the lanes it could have carried) and *packing efficiency*
+  (fraction of dispatches saved versus one-dispatch-per-request);
+* **spill counts** — paging traffic observed under the serving path
+  (filled in by ``service.stats()`` from the cluster's pagers).
+
+All recording methods are thread-safe; :meth:`snapshot` returns one
+plain ``dict`` suitable for logging or JSON export.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+#: Latency samples kept for the percentile estimates.  Old samples
+#: fall off, so long-running services report *recent* tail latency.
+RESERVOIR = 8192
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100); 0.0 on an empty sample set."""
+    if not samples:
+        return 0.0
+    return float(np.percentile(samples, q))
+
+
+class _TenantCounters:
+    __slots__ = ("submitted", "completed", "failed", "rejected", "lanes")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.lanes = 0
+
+    def as_dict(self) -> dict:
+        return {"submitted": self.submitted, "completed": self.completed,
+                "failed": self.failed, "rejected": self.rejected,
+                "lanes": self.lanes}
+
+
+class ServeMetrics:
+    """Thread-safe counters and latency reservoir for one service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantCounters] = {}
+        self.n_submitted = 0
+        self.n_completed = 0
+        self.n_failed = 0
+        self.n_rejected = 0
+        #: Packed dispatches issued (each runs one µProgram stream).
+        self.n_dispatches = 0
+        #: Requests carried by those dispatches.
+        self.n_dispatched_requests = 0
+        #: Total SIMD lanes carried by those dispatches.
+        self.lanes_dispatched = 0
+        #: Sum over dispatches of lanes / flush capacity (for the mean).
+        self._occupancy_sum = 0.0
+        #: Packed dispatches that failed and were retried sequentially.
+        self.n_sequential_fallbacks = 0
+        self._latencies: deque[float] = deque(maxlen=RESERVOIR)
+
+    def _tenant(self, tenant: str) -> _TenantCounters:
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = _TenantCounters()
+        return counters
+
+    # ------------------------------------------------------------------
+    # recording (called from submitter and worker threads)
+    # ------------------------------------------------------------------
+    def record_submit(self, tenant: str, lanes: int) -> None:
+        with self._lock:
+            self.n_submitted += 1
+            counters = self._tenant(tenant)
+            counters.submitted += 1
+            counters.lanes += lanes
+
+    def record_reject(self, tenant: str) -> None:
+        with self._lock:
+            self.n_rejected += 1
+            self._tenant(tenant).rejected += 1
+
+    def record_dispatch(self, n_requests: int, lanes: int,
+                        capacity: int) -> None:
+        with self._lock:
+            self.n_dispatches += 1
+            self.n_dispatched_requests += n_requests
+            self.lanes_dispatched += lanes
+            self._occupancy_sum += min(1.0, lanes / max(1, capacity))
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.n_sequential_fallbacks += 1
+
+    def record_completion(self, tenant: str, latency_s: float) -> None:
+        with self._lock:
+            self.n_completed += 1
+            self._tenant(tenant).completed += 1
+            self._latencies.append(latency_s)
+
+    def record_failure(self, tenant: str) -> None:
+        with self._lock:
+            self.n_failed += 1
+            self._tenant(tenant).failed += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, as one plain dict (see module docstring)."""
+        with self._lock:
+            samples = list(self._latencies)
+            dispatches = self.n_dispatches
+            packed = self.n_dispatched_requests
+            return {
+                "requests": {
+                    "submitted": self.n_submitted,
+                    "completed": self.n_completed,
+                    "failed": self.n_failed,
+                    "rejected": self.n_rejected,
+                    "in_flight": (self.n_submitted - self.n_completed
+                                  - self.n_failed),
+                },
+                "latency_ms": {
+                    "p50": percentile(samples, 50) * 1e3,
+                    "p99": percentile(samples, 99) * 1e3,
+                    "max": max(samples, default=0.0) * 1e3,
+                    "samples": len(samples),
+                },
+                "packing": {
+                    "dispatches": dispatches,
+                    "packed_requests": packed,
+                    "requests_per_dispatch": (
+                        packed / dispatches if dispatches else 0.0),
+                    "lanes_dispatched": self.lanes_dispatched,
+                    # Mean over dispatches of lanes carried / lanes the
+                    # flush policy would have allowed.
+                    "lane_occupancy": (
+                        self._occupancy_sum / dispatches
+                        if dispatches else 0.0),
+                    # Fraction of dispatches lane-packing saved versus
+                    # one dispatch per request.
+                    "packing_efficiency": (
+                        1.0 - dispatches / packed if packed else 0.0),
+                    "sequential_fallbacks": self.n_sequential_fallbacks,
+                },
+                "tenants": {name: counters.as_dict()
+                            for name, counters
+                            in sorted(self._tenants.items())},
+            }

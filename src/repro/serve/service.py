@@ -1,0 +1,777 @@
+"""``SimdramService``: a multi-tenant serving layer over SIMDRAM.
+
+The ROADMAP's north star is heavy traffic from many users, yet
+SIMDRAM's efficiency comes from *wide* dispatches — one µProgram
+replay amortized over thousands of SIMD lanes.  This service is the
+bridge between the two: it accepts many small independent requests
+(catalog operation, fused :class:`~repro.core.expr.Expr`, or a
+captured lazy graph per request), **lane-packs** compatible ones —
+same kernel identity, same width, same engine — into shared wide
+dispatches on a :class:`~repro.Simdram` module or a sharded
+:class:`~repro.SimdramCluster`, and scatters each request's result
+slice back to its :class:`ServeHandle` future.
+
+Around the packer sits the production machinery:
+
+* **admission control** — a bounded queue; ``submit`` blocks (or
+  raises :class:`~repro.errors.AdmissionError` with ``block=False``)
+  while ``max_queue`` accepted requests are still unresolved;
+* **weighted fair scheduling** — requests queue per tenant and the
+  worker admits them into pack groups in weighted-fair order (each
+  tenant's virtual time advances by ``lanes / weight``), so one noisy
+  tenant cannot starve the rest; on a cluster the dispatches then flow
+  through the runtime's :class:`~repro.runtime.scheduler.JobScheduler`
+  like any other job;
+* **flush policy** — a group dispatches when it reaches ``max_lanes``
+  or when its oldest request has waited ``max_wait_s``
+  (:class:`~repro.serve.batcher.LanePacker`);
+* **failure isolation** — a request that fails validation fails its
+  own handle only; if a *packed* dispatch raises, the group is retried
+  sequentially so one poisoned request cannot corrupt co-packed
+  results;
+* **warmup** — :meth:`SimdramService.warmup` precompiles a declared
+  op manifest so the first real request never pays Steps 1+2;
+* **telemetry** — :meth:`SimdramService.stats` snapshots p50/p99
+  latency, lanes-per-dispatch occupancy, packing efficiency and the
+  paging layer's spill counters (:mod:`repro.serve.metrics`).
+
+Typical use::
+
+    from repro.serve import SimdramService
+
+    with SimdramService(cluster) as svc:
+        svc.warmup([("add", 8), ("mul", 8)])
+        handles = [svc.submit("add", a, b, width=8, tenant="alice")
+                   for a, b in requests]
+        results = [h.result() for h in handles]
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.expr import Expr
+from repro.core.fuse import kernel_identity
+from repro.dram.commands import CommandStats
+from repro.errors import AdmissionError, OperationError
+from repro.lazy.tensor import LazyTensor
+from repro.serve.batcher import (
+    LanePacker,
+    PackGroup,
+    PreparedRequest,
+    prepare,
+)
+from repro.serve.metrics import ServeMetrics
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one :class:`SimdramService`."""
+
+    #: A pack group flushes when its oldest request waited this long.
+    max_wait_s: float = 0.005
+    #: A pack group flushes when its lanes reach this many; ``None``
+    #: defaults to the target's total SIMD lane capacity.
+    max_lanes: int | None = None
+    #: Admission bound: requests accepted but not yet resolved.
+    max_queue: int = 1024
+    #: Retry a failed packed dispatch one request at a time, so a
+    #: poisoned request fails alone instead of failing the pack.
+    fallback_sequential: bool = True
+    #: Lane-pack compatible requests (``False`` = one dispatch per
+    #: request; the serving benchmark's baseline).
+    pack: bool = True
+    #: Default execution engine for requests that don't choose one.
+    engine: str = "auto"
+
+
+class ServeHandle:
+    """A future for one submitted request.
+
+    Resolves to the request's result vector (decoded per the root
+    operation's signedness) once its — possibly shared — dispatch
+    completes; re-raises the request's own failure.
+    """
+
+    def __init__(self, request_id: int, tenant: str,
+                 n_elements: int) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.n_elements = n_elements
+        self._future: Future = Future()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Wait for the request (re-raising its failure)."""
+        return self._future.result(timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def exception(self, timeout: float | None = None
+                  ) -> BaseException | None:
+        return self._future.exception(timeout)
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (self.n_elements,)
+
+    def __len__(self) -> int:
+        return self.n_elements
+
+    def __repr__(self) -> str:
+        if not self._future.done():
+            state = "pending"
+        elif self._future.exception() is not None:
+            state = "failed"
+        else:
+            state = "done"
+        return (f"ServeHandle(#{self.request_id}, "
+                f"tenant={self.tenant!r}, {self.n_elements} lanes, "
+                f"{state})")
+
+
+@dataclass
+class _RawRequest:
+    """One accepted request, queued per tenant until the worker
+    prepares and packs it."""
+
+    handle: ServeHandle
+    op_or_root: "str | Expr"
+    operands: tuple
+    feeds: dict | None
+    width: int
+    tenant: str
+    engine: str
+    submitted_at: float
+    lanes: int
+
+
+# ---------------------------------------------------------------------------
+# dispatch targets: one tiny interface over module and cluster
+# ---------------------------------------------------------------------------
+class _ModuleTarget:
+    """Serve on a single :class:`~repro.Simdram` module."""
+
+    is_cluster = False
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    @property
+    def lanes(self) -> int:
+        return self.sim.module.lanes
+
+    @property
+    def backend(self) -> str:
+        return self.sim.config.backend
+
+    def map_op(self, op_name: str, vectors: list[np.ndarray],
+               width: int, engine: str) -> np.ndarray:
+        return self.sim.map(op_name, *vectors, width=width,
+                            engine=engine)
+
+    def map_expr(self, root: Expr, feeds: dict, width: int,
+                 engine: str) -> np.ndarray:
+        return self.sim.map_expr(root, feeds, width=width,
+                                 engine=engine)
+
+    def compile_op(self, op_name: str, width: int) -> None:
+        self.sim.compile(op_name, width)
+
+    def compile_expr(self, root: Expr, width: int) -> None:
+        self.sim.compile_expr(root, width)
+
+    def paging_stats(self) -> CommandStats:
+        return CommandStats()
+
+    def busy_ns(self) -> float | None:
+        return None
+
+    def kernel_cache_size(self) -> int:
+        return self.sim.kernel_cache_size
+
+
+class _ClusterTarget:
+    """Serve on a :class:`~repro.SimdramCluster` (sharded dispatch
+    through the runtime's job scheduler, paging included)."""
+
+    is_cluster = True
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+
+    @property
+    def lanes(self) -> int:
+        return self.cluster.lanes
+
+    @property
+    def backend(self) -> str:
+        return self.cluster.config.backend
+
+    def map_op(self, op_name: str, vectors: list[np.ndarray],
+               width: int, engine: str) -> np.ndarray:
+        return self.cluster.map(op_name, *vectors, width=width,
+                                engine=engine)
+
+    def map_expr(self, root: Expr, feeds: dict, width: int,
+                 engine: str) -> np.ndarray:
+        return self.cluster.map_expr(root, feeds, width=width,
+                                     engine=engine)
+
+    def compile_op(self, op_name: str, width: int) -> None:
+        self.cluster.compile(op_name, width)
+
+    def compile_expr(self, root: Expr, width: int) -> None:
+        self.cluster.compile_expr(root, width)
+
+    def paging_stats(self) -> CommandStats:
+        return self.cluster.paging_stats()
+
+    def busy_ns(self) -> float | None:
+        return self.cluster.makespan_ns()
+
+    def kernel_cache_size(self) -> int:
+        return self.cluster.kernel_cache_size
+
+
+def _wrap_target(target):
+    from repro.core.framework import Simdram
+    from repro.runtime.cluster import SimdramCluster
+    if isinstance(target, Simdram):
+        return _ModuleTarget(target)
+    if isinstance(target, SimdramCluster):
+        return _ClusterTarget(target)
+    raise OperationError(
+        f"a service wraps a Simdram or SimdramCluster, "
+        f"got {type(target).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# the service
+# ---------------------------------------------------------------------------
+class SimdramService:
+    """Multi-tenant request serving with SIMD lane-packing (see
+    module docstring)."""
+
+    def __init__(self, target, config: ServeConfig | None = None,
+                 tenants: dict[str, float] | None = None) -> None:
+        self._target = _wrap_target(target)
+        self.target = target
+        self.config = config or ServeConfig()
+        #: Lanes one dispatch may carry before it must flush (also the
+        #: occupancy denominator in the metrics).
+        self.capacity = (self.config.max_lanes
+                         if self.config.max_lanes is not None
+                         else self._target.lanes)
+        self.metrics = ServeMetrics()
+        self._packer = LanePacker(self.capacity, self.config.max_wait_s)
+
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[_RawRequest]] = {}
+        self._weights: dict[str, float] = dict(tenants or {})
+        for name, weight in self._weights.items():
+            self._check_weight(name, weight)
+        self._vtime: dict[str, float] = {}
+        self._vfloor = 0.0
+        #: Request ids accepted but not yet resolved — the
+        #: admission-control bound.  One structure (not separate
+        #: queued/dispatching states) so no failure path can ever
+        #: double-release a slot; ids are monotonic, so a flush can
+        #: wait on exactly the requests accepted before it was called.
+        self._unresolved: set[int] = set()
+        self._last_accepted_id = -1
+        #: Cutoff id of every thread currently blocked in
+        #: :meth:`flush`.  While any exist, the worker force-drains
+        #: the packer as soon as no *covered* request (id <= cutoff)
+        #: is still queued — late enough that covered requests pack
+        #: together, early enough that none lingers behind max_wait.
+        self._flush_cutoffs: list[int] = []
+        #: The request the worker is processing right now (crash-guard
+        #: bookkeeping; worker-thread confined except under ``_cond``).
+        self._current: _RawRequest | None = None
+        self._closing = False        # stop + reject new submissions
+        self._close_started = False  # exactly one close() joins
+        self._closed = False
+        self._crashed = False        # worker died on an internal error
+        self._ids = itertools.count()
+        self._worker = threading.Thread(target=self._run_worker,
+                                        name="simdram-serve",
+                                        daemon=True)
+        self._worker.start()
+
+    @staticmethod
+    def _check_weight(tenant: str, weight: float) -> None:
+        if not weight > 0:
+            raise OperationError(
+                f"tenant {tenant!r} needs a positive weight, "
+                f"got {weight}")
+
+    # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str, weight: float = 1.0) -> None:
+        """Declare a tenant's fair-share weight (default 1.0).
+
+        A tenant with weight 2 is admitted twice the lanes of a
+        weight-1 tenant while both have requests queued.
+        """
+        self._check_weight(tenant, weight)
+        with self._cond:
+            self._weights[tenant] = weight
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, op, *operands, feeds: dict | None = None,
+               width: int = 8, tenant: str = "default",
+               engine: str | None = None, block: bool = True,
+               timeout: float | None = None) -> ServeHandle:
+        """Queue one request; returns its :class:`ServeHandle`.
+
+        ``op`` is a catalog operation name (positional ``operands``,
+        host vectors), an :class:`~repro.core.expr.Expr` (``feeds``
+        binding host vectors to leaf names), or a captured
+        :class:`~repro.lazy.LazyTensor` graph (operands and width come
+        from its sources).  ``width`` is the pipeline element width
+        for op/expr requests.
+
+        Admission control: when ``max_queue`` requests are already in
+        flight (accepted, not yet resolved), ``block=True`` waits for
+        space (up to ``timeout`` seconds) and ``block=False`` raises
+        :class:`~repro.errors.AdmissionError` immediately.
+
+        Semantic validation of op/``Expr`` requests happens on the
+        worker thread, so a malformed request fails *its own handle*,
+        never the caller or a co-packed request.  Lazy-graph requests
+        are the one exception: the graph is lowered at submit time on
+        the caller's thread (a ``LazyDevice`` is not thread-safe, so
+        its sources must be read where the caller owns them), and an
+        invalid graph — e.g. one drawing on more than three sources —
+        raises here instead of failing the handle.
+        """
+        if isinstance(op, LazyTensor):
+            if operands or feeds is not None:
+                raise OperationError(
+                    "lazy-graph requests carry their operands in the "
+                    "graph's sources")
+            with self._cond:
+                # Cheap pre-check: lowering the graph may gather
+                # device-resident sources back to host — don't pay
+                # that only to be rejected by a closed service.
+                if self._closing or self._closed:
+                    self.metrics.record_reject(tenant)
+                    raise AdmissionError("service is closed")
+            op, feeds, width = op.device.export(op)
+        engine = engine or self.config.engine
+        lanes = self._lane_estimate(op, operands, feeds)
+        handle = ServeHandle(next(self._ids), tenant, lanes)
+        raw = _RawRequest(handle=handle, op_or_root=op,
+                          operands=tuple(operands), feeds=feeds,
+                          width=width, tenant=tenant, engine=engine,
+                          submitted_at=time.monotonic(), lanes=lanes)
+
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                if self._closing or self._closed:
+                    self.metrics.record_reject(tenant)
+                    raise AdmissionError("service is closed")
+                if len(self._unresolved) < self.config.max_queue:
+                    break
+                if not block:
+                    self.metrics.record_reject(tenant)
+                    raise AdmissionError(
+                        f"queue full ({self.config.max_queue} "
+                        f"requests waiting); retry later")
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    self.metrics.record_reject(tenant)
+                    raise AdmissionError(
+                        f"queue full ({self.config.max_queue} "
+                        f"requests waiting); timed out after "
+                        f"{timeout}s")
+                self._cond.wait(remaining)
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            if not queue:
+                # (Re)activating tenant: advance its virtual time to
+                # the service floor so idle periods earn no credit.
+                self._vtime[tenant] = max(
+                    self._vtime.get(tenant, 0.0), self._vfloor)
+            queue.append(raw)
+            self._unresolved.add(handle.request_id)
+            # max(): ids are handed out before this lock, so two
+            # submitters may enqueue in the opposite order.
+            self._last_accepted_id = max(self._last_accepted_id,
+                                         handle.request_id)
+            # Recorded before the lock releases, so the worker can
+            # never record this request's completion first (metrics
+            # would transiently show completed > submitted).
+            self.metrics.record_submit(tenant, lanes)
+            self._cond.notify_all()
+        return handle
+
+    @staticmethod
+    def _lane_estimate(op, operands: Sequence, feeds: dict | None) -> int:
+        """Best-effort lane count before validation (drives fair-share
+        accounting; the prepared request carries the exact number)."""
+        candidates = list(operands) + list((feeds or {}).values())
+        for value in candidates:
+            try:
+                return max(1, len(value))
+            except TypeError:
+                continue
+        return 1
+
+    # ------------------------------------------------------------------
+    # lifecycle / synchronization
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Dispatch every request accepted *before this call*; blocks
+        until each of them has resolved.
+
+        Requests submitted concurrently with (or after) the flush are
+        not waited for, so one tenant's checkpoint cannot be starved
+        by another tenant's sustained traffic.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            cutoff = self._last_accepted_id
+            self._flush_cutoffs.append(cutoff)
+            self._cond.notify_all()
+            try:
+                # _crashed (set under this lock before the crash
+                # guard's notify) rather than a thread-liveness
+                # check: a dying worker is still alive() inside its
+                # excepthook and will never notify again afterwards.
+                self._cond.wait_for(
+                    lambda: (self._closed or self._crashed
+                             or all(rid > cutoff
+                                    for rid in self._unresolved)))
+            finally:
+                self._flush_cutoffs.remove(cutoff)
+                self._cond.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every accepted request has resolved (success or
+        failure).  Returns ``False`` on timeout."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._unresolved, timeout)
+
+    def close(self) -> None:
+        """Flush pending work, stop the worker thread (idempotent).
+
+        Every already-accepted request still resolves — pending pack
+        groups are dispatched, not dropped.  Later ``submit`` calls
+        raise :class:`~repro.errors.AdmissionError`.  Closing does
+        *not* close the wrapped module/cluster; the caller owns it.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closing = True
+            first_closer = not self._close_started
+            self._close_started = True
+            self._cond.notify_all()
+        if first_closer:
+            self._worker.join()
+            with self._cond:
+                self._closed = True
+                self._cond.notify_all()
+        else:
+            with self._cond:
+                self._cond.wait_for(lambda: self._closed)
+
+    def __enter__(self) -> "SimdramService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # warmup
+    # ------------------------------------------------------------------
+    def warmup(self, manifest: Sequence[tuple]) -> dict:
+        """Precompile a declared operation manifest.
+
+        ``manifest`` entries are ``(op_name_or_expr, width)``.  Each
+        kernel compiles into the target's caches (and, on a cluster,
+        is adopted by every module on first dispatch), so the first
+        real request replays an installed µProgram instead of paying
+        Steps 1+2 inline.  Returns a summary dict.
+        """
+        start = time.perf_counter()
+        kernels: list[list] = []
+        for op_or_root, width in manifest:
+            if isinstance(op_or_root, Expr):
+                self._target.compile_expr(op_or_root, width)
+            else:
+                self._target.compile_op(str(op_or_root), width)
+            identity = kernel_identity(op_or_root, width,
+                                       self._target.backend)
+            kernels.append([identity[0], width])
+        return {"kernels": kernels,
+                "n_kernels": len(kernels),
+                "seconds": time.perf_counter() - start}
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One snapshot of the service's telemetry (see
+        :mod:`repro.serve.metrics` for the schema)."""
+        snap = self.metrics.snapshot()
+        with self._cond:
+            snap["queue"] = {
+                "queued": sum(len(q) for q in self._queues.values()),
+                "in_flight": len(self._unresolved),
+                "max_queue": self.config.max_queue,
+                "capacity_lanes": self.capacity,
+            }
+        paging = self._target.paging_stats()
+        snap["paging"] = {
+            "n_spills": paging.n_spills,
+            "n_fills": paging.n_fills,
+            "spill_bits": paging.spill_bits,
+            "fill_bits": paging.fill_bits,
+        }
+        snap["modeled_busy_ns"] = self._target.busy_ns()
+        snap["kernels_cached"] = self._target.kernel_cache_size()
+        return snap
+
+    # ------------------------------------------------------------------
+    # the worker: weighted-fair admit -> prepare -> pack -> dispatch
+    # ------------------------------------------------------------------
+    def _pop_locked(self) -> _RawRequest | None:
+        """Weighted-fair pop: the tenant queue with the least virtual
+        time goes first; its time advances by ``lanes / weight``.
+
+        ``_queues`` only holds tenants with requests waiting — a
+        queue that empties is reclaimed together with its virtual
+        time (the tenant reseeds from the floor on reactivation), so
+        high-cardinality tenant ids never grow the per-pop scan or
+        the service's memory.
+        """
+        if not self._queues:
+            return None
+        tenant = min(self._queues,
+                     key=lambda t: self._vtime.get(t, 0.0))
+        queue = self._queues[tenant]
+        raw = queue.popleft()
+        vtime = self._vtime.get(tenant, 0.0)
+        self._vfloor = max(self._vfloor, vtime)
+        charged = vtime + raw.lanes / self._weights.get(tenant, 1.0)
+        if queue:
+            self._vtime[tenant] = charged
+        else:
+            del self._queues[tenant]
+            self._vtime.pop(tenant, None)
+            # The leaving tenant's full charge becomes the floor, so
+            # rejoining exactly where it left grants no idle credit.
+            self._vfloor = max(self._vfloor, charged)
+        return raw
+
+    def _run_worker(self) -> None:
+        try:
+            self._worker_loop()
+        except BaseException as error:  # noqa: BLE001 - never hang callers
+            # An unexpected scheduler failure must not strand callers
+            # blocked on handles: fail everything pending — queued,
+            # packed, and the request being processed — then stop.
+            with self._cond:
+                raws = [raw for queue in self._queues.values()
+                        for raw in queue]
+                for queue in self._queues.values():
+                    queue.clear()
+                groups = self._packer.drain()
+                current = self._current
+                self._current = None
+                self._closing = True
+                self._crashed = True
+                self._cond.notify_all()
+            if current is not None:
+                self._fail_request(current.handle, current.tenant,
+                                   error)
+            for raw in raws:
+                self._fail_request(raw.handle, raw.tenant, error)
+            for group in groups:
+                for request in group.requests:
+                    self._fail_request(request.handle, request.tenant,
+                                       error)
+            raise
+
+    def _worker_loop(self) -> None:
+        while True:
+            raw = None
+            stop = False
+            with self._cond:
+                while True:
+                    raw = self._pop_locked()
+                    if raw is not None:
+                        break
+                    now = time.monotonic()
+                    deadline = self._packer.next_deadline()
+                    if deadline is not None and now >= deadline:
+                        break
+                    if (self._flush_cutoffs
+                            and self._packer.pending_requests):
+                        break  # flush pending: dispatch immediately
+                    if self._closing:
+                        stop = True
+                        break
+                    self._cond.wait(
+                        None if deadline is None else deadline - now)
+
+            if raw is not None:
+                self._current = raw
+                self._admit(raw)
+                self._current = None
+                self._flush_due(everything=self._flush_ready())
+                continue
+            if stop:
+                for group in self._packer.drain():
+                    self._dispatch(group)
+                return
+            self._flush_due(everything=self._flush_ready())
+
+    def _flush_ready(self) -> bool:
+        """True when a flush is waiting and every request it covers
+        has left the tenant queues — the moment to force-drain the
+        packer.  Not earlier (covered requests still queued must get
+        their chance to pack together), not later (a covered request
+        in a partial group must not linger behind max_wait).
+
+        Only queue *heads* are inspected (O(tenants), not
+        O(backlog)): per-tenant queues are FIFO, so an older covered
+        request sits at the front.  Two submitters racing into one
+        queue can briefly hide a covered request behind a newer id;
+        the next pop re-checks, so the drain is only delayed by an
+        admit, never lost.
+        """
+        with self._cond:
+            cutoff = max(self._flush_cutoffs, default=-1)
+            if cutoff < 0:
+                return False
+            return not any(
+                queue[0].handle.request_id <= cutoff
+                for queue in self._queues.values() if queue)
+
+    def _admit(self, raw: _RawRequest) -> None:
+        """Prepare one raw request and pack (or directly dispatch) it."""
+        try:
+            request = prepare(
+                raw.handle, raw.op_or_root, raw.operands, raw.feeds,
+                raw.width, raw.tenant, raw.engine,
+                self._target.backend, raw.submitted_at)
+        except Exception as error:  # noqa: BLE001 - fails its handle only
+            self._fail_request(raw.handle, raw.tenant, error)
+            return
+        raw.handle.n_elements = request.n_elements
+        if not self.config.pack:
+            group = PackGroup(key=request.key,
+                              created_at=time.monotonic())
+            group.add(request)
+            self._dispatch(group)
+            return
+        full = self._packer.add(request)
+        if full is not None:
+            self._dispatch(full)
+
+    def _flush_due(self, everything: bool) -> None:
+        now = time.monotonic()
+        groups = (self._packer.drain() if everything
+                  else self._packer.due(now))
+        for group in groups:
+            self._dispatch(group)
+
+    # ------------------------------------------------------------------
+    # dispatch and scatter
+    # ------------------------------------------------------------------
+    def _execute(self, request: PreparedRequest,
+                 vectors: list[np.ndarray]) -> np.ndarray:
+        if request.kind == "op":
+            return self._target.map_op(request.op_name, vectors,
+                                       request.width, request.engine)
+        return self._target.map_expr(
+            request.root, dict(zip(request.slot_names, vectors)),
+            request.width, request.engine)
+
+    def _dispatch(self, group: PackGroup) -> None:
+        """One shared wide dispatch; scatter slices to the handles.
+
+        A failing packed dispatch falls back to sequential per-request
+        execution (when configured), so only the genuinely poisoned
+        request fails its handle.  No exit path — not even a
+        ``KeyboardInterrupt`` mid-pack — may leave a co-packed handle
+        unresolved: a caller blocked on :meth:`ServeHandle.result`
+        would never wake.
+        """
+        requests = group.requests
+        try:
+            packed, slices = group.pack()
+            out = self._execute(requests[0], packed)
+            self.metrics.record_dispatch(
+                len(requests), group.total_lanes, self.capacity)
+            for request, (lo, hi) in zip(requests, slices):
+                self._finish_request(request, out[lo:hi].copy())
+        except BaseException as error:  # noqa: BLE001 - see docstring
+            if (isinstance(error, Exception)
+                    and self.config.fallback_sequential
+                    and len(requests) > 1):
+                self.metrics.record_fallback()
+                self._dispatch_sequentially(requests)
+            else:
+                # Already-resolved handles are skipped (done() guard).
+                for request in requests:
+                    self._fail_request(request.handle, request.tenant,
+                                       error)
+                if not isinstance(error, Exception):
+                    raise
+
+    def _dispatch_sequentially(self,
+                               requests: list[PreparedRequest]) -> None:
+        for request in requests:
+            try:
+                out = self._execute(request, request.vectors)
+            except Exception as error:  # noqa: BLE001
+                self._fail_request(request.handle, request.tenant,
+                                   error)
+            else:
+                self.metrics.record_dispatch(1, request.n_elements,
+                                             self.capacity)
+                self._finish_request(request, out)
+
+    def _finish_request(self, request: PreparedRequest,
+                        values: np.ndarray) -> None:
+        if request.handle._future.done():
+            return
+        request.handle._future.set_result(values)
+        self.metrics.record_completion(
+            request.tenant, time.monotonic() - request.submitted_at)
+        self._release_inflight(request.handle)
+
+    def _fail_request(self, handle: ServeHandle, tenant: str,
+                      error: BaseException) -> None:
+        if handle._future.done():
+            return
+        handle._future.set_exception(error)
+        self.metrics.record_failure(tenant)
+        self._release_inflight(handle)
+
+    def _release_inflight(self, handle: ServeHandle) -> None:
+        with self._cond:
+            self._unresolved.discard(handle.request_id)
+            self._cond.notify_all()

@@ -63,3 +63,13 @@ class TestCommands:
                      "--data-rows", "48", "--banks", "1"]) == 0
         out = capsys.readouterr().out
         assert "MISMATCH" not in out
+
+    def test_serve_demo_runs_green(self, capsys):
+        """The serving load generator verifies every request."""
+        assert main(["serve-demo", "--requests", "24",
+                     "--modules", "2", "--cols", "32",
+                     "--max-request-lanes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "24 / 24" in out
+        assert "lane occupancy" in out
+        assert "tenant 'pro'" in out

@@ -94,6 +94,61 @@ class TestRawScheduler:
             scheduler.submit([(0, lambda: None)])
 
 
+class TestSchedulerLifecycle:
+    def test_close_is_idempotent(self):
+        scheduler = JobScheduler(2)
+        scheduler.submit([(0, lambda: 1), (1, lambda: 2)]).result()
+        scheduler.close()
+        scheduler.close()
+        scheduler.close()
+
+    def test_close_races_are_safe(self):
+        """Concurrent close() calls from many threads never error and
+        leave no worker thread behind."""
+        scheduler = JobScheduler(2)
+        scheduler.submit([(0, lambda: time.sleep(0.01))])
+        threads = [threading.Thread(target=scheduler.close)
+                   for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with pytest.raises(ExecutionError, match="closed"):
+            scheduler.submit([(0, lambda: None)])
+
+    def test_close_after_failed_job_does_not_raise(self):
+        scheduler = JobScheduler(1)
+
+        def boom():
+            raise OperationError("kaboom")
+
+        future = scheduler.submit([(0, boom)])
+        with pytest.raises(OperationError):
+            future.result()
+        scheduler.close()   # drains without re-raising
+        scheduler.close()
+
+    def test_scheduler_context_manager(self):
+        with JobScheduler(2) as scheduler:
+            future = scheduler.submit([(0, lambda: 7)])
+        assert future.result() == [7]
+        with pytest.raises(ExecutionError, match="closed"):
+            scheduler.submit([(0, lambda: None)])
+
+    def test_cluster_context_manager_stops_workers(self):
+        """``with SimdramCluster(...)`` leaks no worker threads, even
+        when closed twice."""
+        with small_cluster(2) as cluster:
+            tensor = cluster.tensor([1, 2, 3], width=8)
+            assert np.array_equal(
+                cluster.run("add", tensor, tensor).to_numpy(),
+                [2, 4, 6])
+        cluster.close()
+        workers = [t for t in threading.enumerate()
+                   if t.name.startswith("simdram-mod")]
+        assert all(not t.is_alive() for t in workers)
+
+
 class TestTensorDependencies:
     def test_chain_of_dependent_jobs_is_ordered(self):
         """b = a+a; c = b*b; d = c+b — every link must observe its
