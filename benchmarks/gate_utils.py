@@ -1,8 +1,8 @@
 """Shared plumbing for the CI benchmark gates.
 
-Every gate script (``bench_ci_smoke``, ``bench_fusion``,
-``bench_cluster``, ``bench_lazy``, ``bench_serve``) publishes its
-results as one *section* of a single schema-versioned
+Every gate script (``bench_ci_smoke``, ``bench_compiled``,
+``bench_fusion``, ``bench_cluster``, ``bench_lazy``, ``bench_serve``)
+publishes its results as one *section* of a single schema-versioned
 ``bench_ci.json``::
 
     {
@@ -10,6 +10,7 @@ results as one *section* of a single schema-versioned
       "config": {"python": "3.12.1"},
       "gates": {
         "vectorized": {..., "gate": {"pass": true, ...}},
+        "compiled":   {...},
         "fusion":     {...},
         "cluster":    {...},
         "lazy":       {...},

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """Run every CI benchmark gate and publish one unified report.
 
-The single entry point the CI benchmark job calls.  Executes all four
+The single entry point the CI benchmark job calls.  Executes all six
 regression gates —
 
 * ``vectorized`` — batched execution engine >= 5x the per-bank
   interpreter on 8-bit add at 16 banks (``bench_ci_smoke``);
+* ``compiled`` — compiled executor >= 5x the vectorized engine on the
+  fused 8-bit CNN tap at 16 banks, bit-exact vs golden
+  (``bench_compiled``);
 * ``fusion`` — fused cnn kernel >= 1.5x fewer DRAM commands than the
   unfused pipeline (``bench_fusion``);
 * ``cluster`` — 4-module sharded map >= 2.5x 1-module modeled
@@ -37,6 +40,7 @@ import traceback
 
 import bench_ci_smoke
 import bench_cluster
+import bench_compiled
 import bench_fusion
 import bench_lazy
 import bench_serve
@@ -46,6 +50,7 @@ from gate_utils import merge_gate
 #: carries its own default threshold.
 GATES = (
     ("vectorized", bench_ci_smoke),
+    ("compiled", bench_compiled),
     ("fusion", bench_fusion),
     ("cluster", bench_cluster),
     ("lazy", bench_lazy),

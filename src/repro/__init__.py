@@ -40,6 +40,12 @@ from repro.core.operations import CATALOG, PAPER_OPERATIONS, get_operation
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DramTiming
 from repro.errors import SimdramError
+from repro.exec.engines import (
+    ExecutionEngine,
+    get_engine,
+    list_engines,
+    register_engine,
+)
 from repro.runtime import DeviceTensor, SimdramCluster
 from repro.serve import ServeConfig, SimdramService
 
@@ -53,6 +59,10 @@ __all__ = [
     "SimdramService",
     "ServeConfig",
     "DeviceTensor",
+    "ExecutionEngine",
+    "register_engine",
+    "get_engine",
+    "list_engines",
     "CATALOG",
     "PAPER_OPERATIONS",
     "get_operation",

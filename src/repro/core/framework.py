@@ -47,6 +47,7 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DramTiming
 from repro.errors import ExecutionError, OperationError
 from repro.exec.control_unit import ControlUnit, ProgramKey
+from repro.exec.engines import ExecutionEngine
 from repro.exec.layout import RowLayout
 from repro.exec.memory import RowBlock, VerticalAllocator
 from repro.exec.tracker import ObjectTracker
@@ -258,10 +259,42 @@ class Simdram:
     @property
     def kernel_cache_size(self) -> int:
         """Compiled kernels cached on this module (catalog µPrograms,
-        fused single-root and multi-root kernels) — the telemetry the
-        lazy engine and the serving layer report."""
+        fused single-root and multi-root kernels, plus the compiled
+        executors engines have memoized on cached execution plans) —
+        the telemetry the lazy engine and the serving layer report."""
         return (len(self._programs) + len(self._fused)
-                + len(self._multi))
+                + len(self._multi) + self.control.compiled_cache_size())
+
+    def warm_executor(self, program: MicroProgram,
+                      input_widths: "tuple[int, ...] | list[int]",
+                      out_width: int,
+                      engine: "str | ExecutionEngine" = "auto",
+                      ) -> None:
+        """Precompile the control unit's plan *and* the engine's
+        compiled executor for the row layout a batched dispatch will
+        use, without touching DRAM state.
+
+        Mirrors :meth:`_map_batches`' block reservations (same widths,
+        same order, first-fit) so a subsequent :meth:`map` /
+        :meth:`map_expr` on an idle allocator binds the identical
+        :class:`RowLayout` and hits the warmed cache entries — the
+        serve layer's manifest warmup relies on this.
+        """
+        with contextlib.ExitStack() as stack:
+            in_blocks = [stack.enter_context(self._allocator.reserve(w))
+                         for w in input_widths]
+            out_block = stack.enter_context(
+                self._allocator.reserve(out_width))
+            temp_block = (stack.enter_context(
+                self._allocator.reserve(program.n_temp_rows))
+                if program.n_temp_rows else None)
+            bases = {Space.OUTPUT: out_block.base}
+            for space, block in zip(INPUT_SPACES, in_blocks):
+                bases[space] = block.base
+            if temp_block is not None:
+                bases[Space.TEMP] = temp_block.base
+            self.control.warm_plan(program, RowLayout(bases),
+                                   self.module.geometry, engine)
 
     # ------------------------------------------------------------------
     # data movement
@@ -419,17 +452,19 @@ class Simdram:
     # ------------------------------------------------------------------
     def run(self, op_name: str, *operands: SimdramArray,
             backend: str | None = None,
-            engine: str = "auto") -> SimdramArray:
+            engine: "str | ExecutionEngine" = "auto") -> SimdramArray:
         """Execute an operation over DRAM-resident operands.
 
         Forms the ``bbop`` instruction, round-trips it through the binary
         ISA encoding (as the memory controller would receive it), and
         replays the installed µProgram on every bank in lockstep.
 
-        ``engine`` selects the control unit's replay path (``"auto"``,
-        ``"vectorized"``, ``"per_bank"``); ``"auto"`` uses the
-        vectorized engine unless tracing or fault injection forces the
-        per-bank slow path.  Scratch rows are reserved with a
+        ``engine`` is an execution-engine registry name or an
+        :class:`~repro.exec.engines.ExecutionEngine` instance (see
+        :func:`repro.exec.engines.list_engines`); ``"auto"`` picks the
+        best available plan-based engine unless tracing or fault
+        injection forces the per-bank slow path.  Scratch rows are
+        reserved with a
         ``try``/``finally`` guarantee: a failing execution releases its
         temporary block *and* the output allocation instead of leaking
         them.
@@ -468,7 +503,8 @@ class Simdram:
 
     def _dispatch(self, program: MicroProgram,
                   operands: tuple[SimdramArray, ...], out: SimdramArray,
-                  n_elements: int, engine: str) -> SimdramArray:
+                  n_elements: int,
+                  engine: "str | ExecutionEngine") -> SimdramArray:
         """Issue one installed µProgram over DRAM-resident operands.
 
         Forms the ``bbop`` instruction, round-trips it through the
@@ -513,7 +549,7 @@ class Simdram:
 
     def run_expr(self, root: Expr, feeds: dict[str, SimdramArray],
                  *, width: int | None = None, backend: str | None = None,
-                 engine: str = "auto") -> SimdramArray:
+                 engine: "str | ExecutionEngine" = "auto") -> SimdramArray:
         """Execute a whole expression DAG as **one** fused µProgram.
 
         ``feeds`` binds every input leaf of ``root`` to a DRAM-resident
@@ -554,7 +590,7 @@ class Simdram:
     def run_multi(self, roots: dict[str, Expr],
                   feeds: dict[str, SimdramArray], *,
                   width: int | None = None, backend: str | None = None,
-                  engine: str = "auto") -> dict[str, np.ndarray]:
+                  engine: "str | ExecutionEngine" = "auto") -> dict[str, np.ndarray]:
         """Execute several expression roots as **one** fused µProgram.
 
         All roots share one input pool (at most three DRAM-resident
@@ -577,7 +613,7 @@ class Simdram:
 
     def run_multi_kernel(self, kernel: MultiKernel,
                          feeds: dict[str, SimdramArray], *,
-                         engine: str = "auto") -> dict[str, np.ndarray]:
+                         engine: "str | ExecutionEngine" = "auto") -> dict[str, np.ndarray]:
         """Dispatch an already-compiled :class:`MultiKernel` (the entry
         the cluster runtime uses after :meth:`adopt_multi`)."""
         self._check_feed_names(kernel, feeds)
@@ -650,7 +686,7 @@ class Simdram:
     # ------------------------------------------------------------------
     def map(self, op_name: str, *host_operands, width: int = 8,
             backend: str | None = None,
-            engine: str = "auto") -> np.ndarray:
+            engine: "str | ExecutionEngine" = "auto") -> np.ndarray:
         """Run an operation over host vectors of arbitrary length.
 
         Vectors longer than the module's SIMD lanes are processed in
@@ -693,7 +729,7 @@ class Simdram:
                      vectors: list["np.ndarray"],
                      input_widths: "tuple[int, ...] | list[int]",
                      out_width: int, signed: bool,
-                     engine: str) -> np.ndarray:
+                     engine: "str | ExecutionEngine") -> np.ndarray:
         """The shared batching loop of :meth:`map` and :meth:`map_expr`.
 
         Reserves the operand/output/temporary row blocks *once* and
@@ -749,7 +785,7 @@ class Simdram:
 
     def map_expr(self, root: Expr, feeds: dict[str, "np.ndarray"],
                  *, width: int = 8, backend: str | None = None,
-                 engine: str = "auto") -> np.ndarray:
+                 engine: "str | ExecutionEngine" = "auto") -> np.ndarray:
         """Run a fused expression DAG over host vectors of any length.
 
         The fused analogue of :meth:`map`: vectors longer than the

@@ -44,6 +44,13 @@ class ExecutionError(SimdramError):
     """Step 3 failed: the control unit could not execute a µProgram."""
 
 
+class EngineError(ExecutionError):
+    """An execution engine is unknown, unavailable, or cannot run the
+    requested program (e.g. a vectorizable-only engine on a traced
+    module).  Subclasses :class:`ExecutionError` so legacy callers that
+    catch engine-selection failures keep working."""
+
+
 class OperationError(SimdramError):
     """An operation is unknown, or its operands are invalid."""
 

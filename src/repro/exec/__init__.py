@@ -1,8 +1,20 @@
-"""Execution layer (Step 3): control unit, vectorized execution plans,
-row layout binding, vertical memory allocation and the transposition
-unit."""
+"""Execution layer (Step 3): control unit, execution engines and
+compiled plans, row layout binding, vertical memory allocation and the
+transposition unit."""
 
 from repro.exec.control_unit import ControlUnit, ProgramKey
+from repro.exec.engines import (
+    AUTO,
+    CompiledEngine,
+    ExecutionEngine,
+    NumbaEngine,
+    PerBankEngine,
+    VectorizedEngine,
+    get_engine,
+    list_engines,
+    register_engine,
+    resolve_engine,
+)
 from repro.exec.layout import RowLayout
 from repro.exec.memory import RowBlock, VerticalAllocator
 from repro.exec.plan import ExecutionPlan, PlanStep, StepKind, compile_plan
@@ -12,6 +24,16 @@ from repro.exec.transposition import TranspositionCost, TranspositionUnit
 __all__ = [
     "ControlUnit",
     "ProgramKey",
+    "AUTO",
+    "ExecutionEngine",
+    "PerBankEngine",
+    "VectorizedEngine",
+    "CompiledEngine",
+    "NumbaEngine",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+    "resolve_engine",
     "RowLayout",
     "RowBlock",
     "VerticalAllocator",

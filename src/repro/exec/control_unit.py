@@ -6,15 +6,17 @@ every ``bbop`` instruction it replays the matching µProgram as a stream
 of AAP/AP commands to the participating banks, transparently to the
 user (paper §3, step 3).
 
-Replay has two equivalent engines:
-
-* the **vectorized** engine compiles the µProgram + row layout into an
-  :class:`~repro.exec.plan.ExecutionPlan` (cached) and executes it over
-  the module's stacked cell state, all banks at once — the default, and
-  the one that actually behaves like the paper's lockstep broadcast;
-* the **per-bank** engine replays the symbolic µOps bank by bank
-  through each :class:`Subarray` — the traced / fault-injection slow
-  path, bit-identical to the fast path on success.
+Replay goes through the engine registry
+(:mod:`repro.exec.engines`): plan-based engines (``vectorized``,
+``compiled``, ``compiled-numba``) compile the µProgram + row layout
+into an :class:`~repro.exec.plan.ExecutionPlan` (cached here) and run
+an executor over the module's stacked cell state, all banks at once —
+the paper's lockstep broadcast.  The ``per_bank`` engine replays the
+symbolic µOps bank by bank through each :class:`Subarray` — the traced
+/ fault-injection slow path, bit-identical to the fast paths on
+success.  ``"auto"`` resolves per dispatch: the best available
+plan-based engine when the module supports stacked execution, else
+``per_bank``.
 """
 
 from __future__ import annotations
@@ -26,7 +28,8 @@ from dataclasses import dataclass
 from repro.dram.bank import DramModule
 from repro.dram.commands import CommandStats
 from repro.dram.subarray import Subarray
-from repro.errors import ExecutionError
+from repro.errors import EngineError, ExecutionError
+from repro.exec.engines import ExecutionEngine, get_engine, resolve_engine
 from repro.exec.layout import RowLayout
 from repro.exec.plan import ExecutionPlan, compile_plan
 from repro.uprog.program import MicroProgram
@@ -150,34 +153,70 @@ class ControlUnit:
                 self._plan_cache.popitem(last=False)
         return plan
 
+    def compiled_cache_size(self) -> int:
+        """Number of compiled executors memoized on cached plans."""
+        with self._lock:
+            return sum(len(plan.executors)
+                       for plan in self._plan_cache.values())
+
+    def executor_for(self, plan: ExecutionPlan,
+                     engine: ExecutionEngine):
+        """Fetch (or compile and memoize) ``engine``'s executor for a
+        cached plan.  Compilation happens under the control unit's lock
+        so scheduler worker threads replaying the same plan never
+        duplicate codegen work."""
+        executor = plan.executors.get(engine.name)
+        if executor is not None:
+            return executor
+        with self._lock:
+            return plan.executor_for(engine)
+
+    def warm_plan(self, program: MicroProgram, layout: RowLayout,
+                  geometry, engine: "str | ExecutionEngine" = "auto",
+                  ) -> ExecutionPlan:
+        """Precompile the plan — and, for plan-based engines, the
+        compiled executor — without touching DRAM state.  The serve
+        layer's manifest warmup uses this so the first real dispatch
+        hits a fully warm cache."""
+        plan = self.plan_for(program, layout, geometry)
+        resolved = resolve_engine(engine, vectorizable=True)
+        if resolved.executes_plans:
+            self.executor_for(plan, resolved)
+        return plan
+
     def execute_on_module(self, program: MicroProgram, module: DramModule,
                           layout: RowLayout,
                           n_banks: int | None = None,
-                          engine: str = "auto") -> CommandStats:
+                          engine: "str | ExecutionEngine" = "auto",
+                          ) -> CommandStats:
         """Broadcast a µProgram to ``n_banks`` banks in lockstep.
 
-        ``engine`` selects the replay path: ``"vectorized"`` executes a
-        compiled :class:`ExecutionPlan` over the stacked cell state of
-        all participating banks at once, ``"per_bank"`` replays the
-        µOps through each subarray in turn, and ``"auto"`` (default)
-        picks the vectorized engine whenever it is equivalent — i.e.
-        no selected bank traces commands or injects TRA faults.
+        ``engine`` is a registry name or :class:`ExecutionEngine`
+        instance.  Plan-based engines (``vectorized``, ``compiled``,
+        ``compiled-numba``) run a compiled :class:`ExecutionPlan` over
+        the stacked cell state of all participating banks at once;
+        ``per_bank`` replays the µOps through each subarray in turn;
+        ``"auto"`` (default) picks the best available plan-based
+        engine whenever it is equivalent — i.e. no selected bank
+        traces commands or injects TRA faults — and silently falls
+        back to ``per_bank`` otherwise.  Explicitly requesting a
+        ``vectorizable_only`` engine on a module that cannot run the
+        stacked path raises :class:`~repro.errors.EngineError`.
         """
-        if engine not in ("auto", "vectorized", "per_bank"):
-            raise ExecutionError(
-                f"unknown engine {engine!r}; "
-                "expected 'auto', 'vectorized' or 'per_bank'")
+        resolved = get_engine(engine)  # fail fast on unknown names
         banks = module.banks if n_banks is None else module.banks[:n_banks]
         if not banks:
             raise ExecutionError("no banks selected for execution")
 
         vectorizable = module.supports_vectorized(len(banks))
-        if engine == "vectorized" and not vectorizable:
-            raise ExecutionError(
-                "vectorized engine requested, but a selected bank is "
-                "traced, fault-injected, or detached from the module's "
-                "stacked state; use engine='per_bank' (or 'auto')")
-        if engine == "per_bank" or not vectorizable:
+        if resolved.vectorizable_only and not vectorizable:
+            raise EngineError(
+                f"engine {resolved.name!r} requested, but a selected "
+                "bank is traced, fault-injected, or detached from the "
+                "module's stacked state; use engine='per_bank' (or "
+                "'auto', which falls back silently)")
+        resolved = resolve_engine(resolved, vectorizable=vectorizable)
+        if not resolved.executes_plans:
             stats = CommandStats()
             for bank in banks:
                 stats = stats.merged_with(
@@ -185,10 +224,11 @@ class ControlUnit:
             return stats
 
         plan = self.plan_for(program, layout, module.geometry)
+        executor = self.executor_for(plan, resolved)
         data, b_planes = module.vector_state(len(banks))
-        plan.execute(data, b_planes)
-        # Fold the per-bank stats into each bank so the two engines
-        # leave identical accounting state.
+        executor(data, b_planes)
+        # Fold the per-bank stats into each bank so every engine
+        # leaves identical accounting state.
         for bank in banks:
             bank.subarray.stats.accumulate(plan.per_bank_stats)
         return plan.per_bank_stats.scaled(len(banks))

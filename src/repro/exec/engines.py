@@ -1,0 +1,679 @@
+"""First-class execution engines behind one registry.
+
+Historically ``engine`` was a string (``"auto"`` / ``"vectorized"`` /
+``"per_bank"``) threaded as a parameter through every layer of the
+stack, and the control unit hard-coded what each string meant.  Adding
+a backend meant touching every layer.  This module makes engines
+**objects** behind a small registry instead:
+
+* :class:`ExecutionEngine` — the protocol: a ``name``, an
+  :meth:`~ExecutionEngine.available` probe, capability flags
+  (``vectorizable_only``, ``executes_plans``) and
+  :meth:`~ExecutionEngine.compile`, which lowers a cached
+  :class:`~repro.exec.plan.ExecutionPlan` to a callable executor over
+  the module's stacked cell state.
+* :func:`register_engine` / :func:`get_engine` / :func:`list_engines`
+  — the registry.  Every public entry point (``Simdram.run/map``,
+  ``SimdramCluster.*``, ``LazyTensor.evaluate``, ``SimdramService``)
+  accepts either a registry name or an engine instance; the old
+  strings resolve through the registry, so existing callers keep
+  working.
+* :func:`resolve_engine` — the ``"auto"`` policy: pick the best
+  available engine per plan (compiled > vectorized > per_bank),
+  silently falling back to ``per_bank`` when the module cannot run the
+  stacked fast path (tracing / fault injection).
+
+Built-in engines
+----------------
+
+``per_bank``
+    The traced / fault-injection slow path: replays symbolic µOps bank
+    by bank through each :class:`~repro.dram.subarray.Subarray`.  The
+    only engine that is *not* ``vectorizable_only``.
+``vectorized``
+    Interprets the pre-classified :class:`ExecutionPlan` steps over the
+    stacked ``(banks, rows, cols)`` bool state, one numpy op per µOp.
+``compiled``
+    The codegen backend (the assassyn approach: frontend IR → generated
+    simulator code).  :meth:`~CompiledEngine.compile` emits specialized
+    Python source with the µOp loop fully unrolled and every row /
+    plane index baked in, then runs it through ``compile()``/``exec``.
+    Each DRAM row becomes a *local variable holding an arbitrary-width
+    Python integer* (one bit per SIMD lane across all banks), so a µOp
+    is one or two native bigint operations instead of an interpreted
+    numpy dispatch — the loop, the ``isinstance``/enum tests and the
+    numpy call overhead all disappear.  Bit-identical to ``vectorized``
+    on success (proven by the differential suites); portable, no
+    dependencies.
+``compiled-numba``
+    Same unrolled codegen, but lowered to packed ``uint64`` lane words
+    inside a ``numba.njit`` kernel.  Auto-detected: ``available()`` is
+    true only when :mod:`numba` imports.  Never chosen by ``"auto"``
+    (jitting a multi-thousand-statement kernel can cost seconds);
+    request it explicitly when the jit amortizes.
+
+Compiled executors are cached *on the plan* (`ExecutionPlan.executors`,
+keyed by engine name), which the control unit's plan cache keys by
+µProgram fingerprint (folding ``source_hash``) + row layout — so a
+fused kernel replayed on the same layout compiles exactly once, and
+eviction of a plan drops its executors with it.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.dram.subarray import N_B_PLANES
+from repro.errors import EngineError
+
+if TYPE_CHECKING:
+    from repro.exec.plan import ExecutionPlan
+
+__all__ = [
+    "ExecutionEngine",
+    "PerBankEngine",
+    "VectorizedEngine",
+    "CompiledEngine",
+    "NumbaEngine",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+    "resolve_engine",
+    "AUTO",
+]
+
+#: An executor: mutates ``(data, b_planes)`` stacked bool state in place.
+Executor = Callable[[np.ndarray, np.ndarray], None]
+
+
+@runtime_checkable
+class ExecutionEngine(Protocol):
+    """The engine protocol every registered backend satisfies.
+
+    Implementations are stateless-after-construction: :meth:`compile`
+    must be a pure function of the plan, so one engine instance may be
+    shared freely across scheduler worker threads (the cluster carries
+    the resolved instance on each job).
+    """
+
+    #: Registry name (also the legacy string that resolves to it).
+    name: str
+    #: Requires the module's stacked cell state: the engine executes
+    #: compiled plans over all banks at once and cannot model per-bank
+    #: behaviours (command tracing, TRA fault injection).
+    vectorizable_only: bool
+    #: Whether :meth:`compile` produces plan executors.  ``False`` only
+    #: for ``per_bank``, which the control unit routes through the
+    #: symbolic per-subarray replay loop instead.
+    executes_plans: bool
+    #: ``"auto"`` preference; higher wins among available engines.
+    priority: int
+
+    def available(self) -> bool:
+        """Whether the engine can run in this process (deps present)."""
+        ...
+
+    def compile(self, plan: "ExecutionPlan") -> Executor:
+        """Lower a compiled plan to an executor callable."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# pack/unpack helpers shared by the codegen backends
+# ---------------------------------------------------------------------------
+def _pack_rows(stack: np.ndarray, rows: tuple[int, ...],
+               n_bits: int) -> list[int]:
+    """Read ``stack[:, row, :]`` for each row into one Python int per
+    row — bit ``b*cols + c`` of the int is bank ``b``, column ``c``."""
+    if not rows:
+        return []
+    # (banks, k, cols) -> (k, banks*cols); bit order must round-trip
+    # through _unpack_rows exactly, hence bitorder="little" throughout.
+    flat = np.ascontiguousarray(
+        stack[:, rows, :].transpose(1, 0, 2)).reshape(len(rows), n_bits)
+    packed = np.packbits(flat, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+def _unpack_rows(stack: np.ndarray, rows: tuple[int, ...],
+                 values: tuple[int, ...], n_bits: int) -> None:
+    """Write packed integers back into ``stack[:, row, :]`` per row.
+
+    One fused scatter for the whole writeback set — the executor's
+    tail calls this once for data rows and once for B planes, keeping
+    the per-dispatch numpy call count independent of how many rows
+    the plan writes.
+    """
+    if not rows:
+        return
+    n_bytes = (n_bits + 7) // 8
+    raw = b"".join(value.to_bytes(n_bytes, "little")
+                   for value in values)
+    bits = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8).reshape(len(rows), n_bytes),
+        axis=1, count=n_bits, bitorder="little")
+    stack[:, rows, :] = bits.reshape(
+        len(rows), stack.shape[0], stack.shape[2]
+    ).transpose(1, 0, 2).astype(bool)
+
+
+def _pack_words(stack: np.ndarray, rows: tuple[int, ...],
+                n_bits: int) -> np.ndarray:
+    """Pack rows into a ``(len(rows), n_words)`` uint64 lane-word array
+    (zero-padded to a 64-bit boundary)."""
+    n_words = (n_bits + 63) // 64
+    if not rows:
+        return np.zeros((0, n_words), dtype=np.uint64)
+    flat = np.zeros((len(rows), n_words * 64), dtype=np.uint8)
+    flat[:, :n_bits] = np.ascontiguousarray(
+        stack[:, rows, :].transpose(1, 0, 2)).reshape(len(rows), n_bits)
+    packed = np.packbits(flat, axis=1, bitorder="little")
+    return packed.view(np.uint64).copy()
+
+
+def _unpack_words(stack: np.ndarray, rows: tuple[int, ...],
+                  words: np.ndarray, n_bits: int) -> None:
+    """Scatter packed lane words back into ``stack[:, row, :]``."""
+    if not rows:
+        return
+    raw = words.view(np.uint8)
+    bits = np.unpackbits(raw, axis=1,
+                         bitorder="little")[:, :n_bits].astype(bool)
+    stack[:, rows, :] = bits.reshape(
+        len(rows), stack.shape[0], stack.shape[2]).transpose(1, 0, 2)
+
+
+# ---------------------------------------------------------------------------
+# built-in engines
+# ---------------------------------------------------------------------------
+class PerBankEngine:
+    """The symbolic per-subarray replay path (tracing, fault injection).
+
+    It does not compile plans at all — the control unit walks the
+    µProgram through each bank's :class:`Subarray` — so its
+    :meth:`compile` raises.  It exists in the registry so "per_bank" is
+    a first-class, introspectable engine like every other.
+    """
+
+    name = "per_bank"
+    vectorizable_only = False
+    executes_plans = False
+    priority = 0
+
+    def available(self) -> bool:
+        return True
+
+    def compile(self, plan: "ExecutionPlan") -> Executor:
+        raise EngineError(
+            "per_bank replays symbolic µOps through each subarray; it "
+            "has no plan executor to compile")
+
+    def __repr__(self) -> str:
+        return f"<engine {self.name}>"
+
+
+class VectorizedEngine:
+    """Interpret plan steps over the stacked state (the PR-1 engine)."""
+
+    name = "vectorized"
+    vectorizable_only = True
+    executes_plans = True
+    priority = 10
+
+    def available(self) -> bool:
+        return True
+
+    def compile(self, plan: "ExecutionPlan") -> Executor:
+        return plan.execute
+
+    def __repr__(self) -> str:
+        return f"<engine {self.name}>"
+
+
+class CompiledEngine:
+    """Generate and ``exec`` specialized Python source per plan.
+
+    Every data row and B-group plane the plan touches becomes a local
+    variable holding one arbitrary-precision integer (bit ``b*cols+c``
+    = bank ``b``, column ``c``); the unrolled step sequence is emitted
+    as straight-line bigint expressions.  A try/finally writes the
+    (partial) state back even when a step raises, mirroring the
+    vectorized engine's advance-all-banks-step-by-step failure shape.
+    """
+
+    name = "compiled"
+    vectorizable_only = True
+    executes_plans = True
+    priority = 30
+
+    def available(self) -> bool:
+        return True
+
+    def compile(self, plan: "ExecutionPlan") -> Executor:
+        source, _rows, _written = generate_source(plan)
+        namespace = {
+            "_pack_rows": _pack_rows,
+            "_unpack_rows": _unpack_rows,
+        }
+        code = compile(source, f"<plan:{plan.op_name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own generated source
+        executor = namespace["_executor"]
+        executor.__source__ = source  # introspection / tests
+        return executor
+
+    def __repr__(self) -> str:
+        return f"<engine {self.name}>"
+
+
+class NumbaEngine:
+    """The same unrolled codegen, jitted by numba over uint64 words.
+
+    ``available()`` probes importability once; the engine registers
+    unconditionally so :func:`list_engines` documents it, but
+    ``"auto"`` and explicit requests skip/raise when numba is missing.
+    """
+
+    name = "compiled-numba"
+    vectorizable_only = True
+    executes_plans = True
+    #: Below ``compiled``: jitting a multi-thousand-statement kernel
+    #: costs seconds, so it must be requested explicitly.
+    priority = 20
+
+    def __init__(self) -> None:
+        self._numba = None
+        self._probed = False
+
+    def available(self) -> bool:
+        if not self._probed:
+            try:
+                import numba  # noqa: F401
+                self._numba = numba
+            except ImportError:
+                self._numba = None
+            self._probed = True
+        return self._numba is not None
+
+    def compile(self, plan: "ExecutionPlan") -> Executor:
+        if not self.available():
+            raise EngineError(
+                "engine 'compiled-numba' is unavailable: numba is not "
+                f"importable; available engines: "
+                f"{list_engines(available_only=True)}")
+        numba = self._numba
+        source, data_rows, written = generate_numba_source(plan)
+        namespace = {"numba": numba, "np": np,
+                     "CommandError": _command_error()}
+        try:
+            code = compile(source, f"<numba-plan:{plan.op_name}>", "exec")
+            exec(code, namespace)  # noqa: S102 - our own generated source
+            kernel = numba.njit(cache=False)(namespace["_kernel"])
+        except Exception as error:  # pragma: no cover - numba-specific
+            raise EngineError(
+                f"numba compilation of plan {plan.op_name!r} failed: "
+                f"{error!r}") from error
+        all_rows = tuple(data_rows)
+        written_rows = tuple(r for r in all_rows if r in written)
+        written_index = tuple(all_rows.index(r) for r in written_rows)
+        b_rows = tuple(range(N_B_PLANES))
+
+        def executor(data: np.ndarray, b_planes: np.ndarray) -> None:
+            n_bits = data.shape[0] * data.shape[2]
+            n_words = (n_bits + 63) // 64
+            mask = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF))
+            if n_bits % 64:
+                mask[-1] = np.uint64((1 << (n_bits % 64)) - 1)
+            dwords = _pack_words(data, all_rows, n_bits)
+            bwords = _pack_words(b_planes, b_rows, n_bits)
+            try:
+                kernel(dwords, bwords, mask)
+            finally:
+                if written_rows:
+                    _unpack_words(data, written_rows,
+                                  dwords[list(written_index)], n_bits)
+                _unpack_words(b_planes, b_rows, bwords, n_bits)
+
+        executor.__source__ = source
+        return executor
+
+    def __repr__(self) -> str:
+        return f"<engine {self.name}>"
+
+
+def _command_error():
+    from repro.errors import CommandError
+    return CommandError
+
+
+# ---------------------------------------------------------------------------
+# code generation (shared analysis; two emitters)
+# ---------------------------------------------------------------------------
+def _plan_data_rows(plan: "ExecutionPlan") -> tuple[list[int], set[int]]:
+    """All data-row indices a plan touches, and the written subset."""
+    from repro.exec.plan import StepKind
+    K = StepKind
+    touched: set[int] = set()
+    written: set[int] = set()
+    for step in plan.steps:
+        if step.kind in (K.COPY_DATA, K.DATA_TO_B):
+            touched.add(step.src)
+        if step.kind in (K.COPY_DATA, K.FILL_DATA, K.B_TO_DATA,
+                         K.PAIR_TO_DATA, K.TRA_TO_DATA):
+            touched.add(step.dst)
+            written.add(step.dst)
+    return sorted(touched), written
+
+
+def _emit_steps(plan: "ExecutionPlan", d, b, ones, raise_pair,
+                indent: str) -> list[str]:
+    """Emit one line-sequence per plan step.
+
+    ``d(row)`` / ``b(plane)`` name the row variables, ``ones`` is the
+    all-lanes-set mask expression, ``raise_pair(step)`` emits the
+    unequal-pair-activation raise; both emitters share this walk so the
+    two codegen backends cannot drift semantically.
+    """
+    from repro.exec.plan import StepKind
+    K = StepKind
+    lines: list[str] = []
+
+    def read_ref(ref) -> str:
+        plane, positive = ref
+        return b(plane) if positive else f"({b(plane)} ^ {ones})"
+
+    def write_refs(refs, value: str) -> None:
+        for plane, positive in refs:
+            lines.append(f"{indent}{b(plane)} = "
+                         + (value if positive else f"{value} ^ {ones}"))
+
+    for step in plan.steps:
+        kind, src, dst = step.kind, step.src, step.dst
+        if kind == K.COPY_DATA:
+            lines.append(f"{indent}{d(dst)} = {d(src)}")
+        elif kind == K.FILL_DATA:
+            lines.append(f"{indent}{d(dst)} = {ones if src else '_zero'}")
+        elif kind == K.DATA_TO_B:
+            write_refs(dst, d(src))
+        elif kind == K.FILL_B:
+            for plane, positive in dst:
+                value = ones if (src == positive) else "_zero"
+                lines.append(f"{indent}{b(plane)} = {value}")
+        elif kind == K.B_TO_DATA:
+            lines.append(f"{indent}{d(dst)} = {read_ref(src)}")
+        elif kind == K.B_TO_B:
+            # Ints are immutable: snapshot once, no aliasing hazards.
+            lines.append(f"{indent}_v = {read_ref(src)}")
+            write_refs(dst, "_v")
+        elif kind in (K.PAIR_TO_DATA, K.PAIR_TO_B):
+            lines.append(f"{indent}_v = {read_ref(src[0])}")
+            lines.append(f"{indent}if _v != {read_ref(src[1])}:")
+            lines.append(f"{indent}    {raise_pair(step)}")
+            if kind == K.PAIR_TO_DATA:
+                lines.append(f"{indent}{d(dst)} = _v")
+            else:
+                write_refs(dst, "_v")
+        else:  # TRA variants: majority of three, destructive restore
+            a0, a1, a2 = (read_ref(ref) for ref in src)
+            lines.append(f"{indent}_v = ({a0} & {a1}) | ({a1} & {a2}) "
+                         f"| ({a0} & {a2})")
+            write_refs(src, "_v")
+            if kind == K.TRA_TO_DATA:
+                lines.append(f"{indent}{d(dst)} = _v")
+            elif kind == K.TRA_TO_B:
+                write_refs(dst, "_v")
+    return lines
+
+
+def generate_source(plan: "ExecutionPlan"
+                    ) -> tuple[str, list[int], set[int]]:
+    """Emit the bigint executor source for :class:`CompiledEngine`.
+
+    Returns ``(source, touched data rows, written data rows)``; the
+    source defines ``_executor(data, b_planes)``.
+    """
+    rows, written = _plan_data_rows(plan)
+    planes = list(range(N_B_PLANES))
+
+    def d(row: int) -> str:
+        return f"_d{row}"
+
+    def b(plane: int) -> str:
+        return f"_b{plane}"
+
+    def raise_pair(step) -> str:
+        message = (f"activating {step.src_addr} would charge-share two "
+                   "unequal rows; the sensed value is nondeterministic")
+        return f"raise _CommandError({message!r})"
+
+    head = [
+        f"# generated executor: {plan.op_name} "
+        f"({plan.backend}, w{plan.element_width}, "
+        f"{plan.n_steps} steps)",
+        "from repro.errors import CommandError as _CommandError",
+        "def _executor(data, b_planes):",
+        "    _n = data.shape[0] * data.shape[2]",
+        "    _ones = (1 << _n) - 1",
+        "    _zero = 0",
+    ]
+    if rows:
+        names = ", ".join(d(r) for r in rows)
+        trailing = "," if len(rows) == 1 else ""
+        head.append(f"    {names}{trailing} = "
+                    f"_pack_rows(data, {tuple(rows)!r}, _n)")
+    names = ", ".join(b(p) for p in planes)
+    head.append(f"    {names} = _pack_rows(b_planes, "
+                f"{tuple(planes)!r}, _n)")
+    head.append("    try:")
+
+    body = _emit_steps(plan, d, b, "_ones", raise_pair, "        ")
+    if not body:
+        body = ["        pass"]
+
+    tail = ["    finally:"]
+    written_rows = sorted(written)
+    if written_rows:
+        values = ", ".join(d(r) for r in written_rows)
+        tail.append(f"        _unpack_rows(data, "
+                    f"{tuple(written_rows)!r}, ({values},), _n)")
+    values = ", ".join(b(p) for p in planes)
+    tail.append(f"        _unpack_rows(b_planes, "
+                f"{tuple(planes)!r}, ({values},), _n)")
+    return "\n".join(head + body + tail) + "\n", rows, written
+
+
+def generate_numba_source(plan: "ExecutionPlan"
+                          ) -> tuple[str, list[int], set[int]]:
+    """Emit the uint64-word kernel source for :class:`NumbaEngine`.
+
+    The kernel iterates lane words; each unrolled step is a scalar
+    uint64 expression.  Negation is ``x ^ m`` with the per-word valid
+    mask, so padding bits beyond the lane count stay zero and the
+    pair-equality check matches the other engines bit for bit.
+    """
+    rows, written = _plan_data_rows(plan)
+    index = {row: i for i, row in enumerate(rows)}
+
+    def d(row: int) -> str:
+        return f"_d{row}"
+
+    def b(plane: int) -> str:
+        return f"_b{plane}"
+
+    def raise_pair(step) -> str:
+        message = (f"activating {step.src_addr} would charge-share two "
+                   "unequal rows; the sensed value is nondeterministic")
+        return f"raise CommandError({message!r})"
+
+    head = [
+        f"# generated numba kernel: {plan.op_name} "
+        f"({plan.backend}, w{plan.element_width}, "
+        f"{plan.n_steps} steps)",
+        "def _kernel(dwords, bwords, mask):",
+        "    _zero = np.uint64(0)",
+        "    for _w in range(mask.shape[0]):",
+        "        _ones = mask[_w]",
+    ]
+    for row in rows:
+        head.append(f"        {d(row)} = dwords[{index[row]}, _w]")
+    for plane in range(N_B_PLANES):
+        head.append(f"        {b(plane)} = bwords[{plane}, _w]")
+
+    body = _emit_steps(plan, d, b, "_ones", raise_pair, "        ")
+
+    tail = []
+    for row in sorted(written):
+        tail.append(f"        dwords[{index[row]}, _w] = {d(row)}")
+    for plane in range(N_B_PLANES):
+        tail.append(f"        bwords[{plane}, _w] = {b(plane)}")
+    return "\n".join(head + body + tail) + "\n", rows, written
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, ExecutionEngine] = {}
+_REGISTRY_LOCK = threading.Lock()
+_WARNED_UNKNOWN = False
+
+
+class _AutoEngine:
+    """The ``"auto"`` selector: not a real engine, but carrying it on a
+    request/job object is well-defined — it resolves per dispatch via
+    :func:`resolve_engine`, so a traced module still falls back to
+    ``per_bank`` while everything else gets the best compiled path."""
+
+    name = "auto"
+    vectorizable_only = False
+    executes_plans = False
+    priority = -1
+
+    def available(self) -> bool:
+        return True
+
+    def compile(self, plan: "ExecutionPlan") -> Executor:
+        raise EngineError("'auto' resolves to a concrete engine per "
+                          "dispatch; it cannot compile plans itself")
+
+    def __repr__(self) -> str:
+        return "<engine auto>"
+
+
+#: The singleton ``"auto"`` selector every layer may carry.
+AUTO = _AutoEngine()
+
+
+def register_engine(engine: ExecutionEngine,
+                    replace: bool = False) -> ExecutionEngine:
+    """Register an engine under ``engine.name``.
+
+    Raises :class:`~repro.errors.EngineError` on a duplicate name
+    unless ``replace=True`` (the escape hatch for tests and for
+    swapping in an instrumented engine).  Returns the engine for
+    decorator-ish chaining.
+    """
+    name = getattr(engine, "name", None)
+    if not name or not isinstance(name, str):
+        raise EngineError(f"engine {engine!r} has no usable .name")
+    if name == AUTO.name:
+        raise EngineError("'auto' is the resolver, not a registrable "
+                          "engine name")
+    with _REGISTRY_LOCK:
+        if not replace and name in _REGISTRY:
+            raise EngineError(
+                f"engine {name!r} is already registered; pass "
+                "replace=True to substitute it")
+        _REGISTRY[name] = engine
+    return engine
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (tests); unknown names are a no-op."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def list_engines(available_only: bool = False) -> list[str]:
+    """Registered engine names, highest ``"auto"`` preference first."""
+    with _REGISTRY_LOCK:
+        engines = sorted(_REGISTRY.values(),
+                         key=lambda e: -e.priority)
+    return [e.name for e in engines
+            if not available_only or e.available()]
+
+
+def get_engine(spec: "str | ExecutionEngine") -> ExecutionEngine:
+    """Resolve a registry name — or pass an engine instance through.
+
+    ``"auto"`` returns the :data:`AUTO` selector.  An unknown string
+    emits a :class:`DeprecationWarning` once per process (the stringly
+    ``engine=`` parameter is legacy; registry names and instances are
+    the API) and raises :class:`~repro.errors.EngineError` naming
+    :func:`list_engines`.
+    """
+    if not isinstance(spec, str):
+        if isinstance(spec, ExecutionEngine):
+            return spec
+        raise EngineError(
+            f"engine must be a registry name or an ExecutionEngine, "
+            f"got {type(spec).__name__}")
+    if spec == AUTO.name:
+        return AUTO
+    with _REGISTRY_LOCK:
+        engine = _REGISTRY.get(spec)
+    if engine is None:
+        global _WARNED_UNKNOWN
+        if not _WARNED_UNKNOWN:
+            _WARNED_UNKNOWN = True
+            warnings.warn(
+                f"unknown engine string {spec!r}: the legacy engine= "
+                "string parameter resolves through the engine registry "
+                "now; use one of repro.exec.engines.list_engines() = "
+                f"{list_engines()} or pass an ExecutionEngine instance",
+                DeprecationWarning, stacklevel=2)
+        raise EngineError(
+            f"unknown engine {spec!r}; registered engines: "
+            f"{list_engines()}")
+    return engine
+
+
+def resolve_engine(spec: "str | ExecutionEngine",
+                   vectorizable: bool = True) -> ExecutionEngine:
+    """Resolve ``spec`` to the concrete engine a dispatch will use.
+
+    ``"auto"`` (or :data:`AUTO`) picks the highest-priority available
+    engine — compiled > vectorized > per_bank — restricted to engines
+    whose requirements the module meets: when ``vectorizable`` is
+    false (a bank is traced, fault-injected or detached) every
+    ``vectorizable_only`` engine is skipped, which is exactly the old
+    silent per-bank fallback.  A concrete engine resolves to itself
+    but must be available.
+    """
+    engine = get_engine(spec)
+    if engine is AUTO:
+        with _REGISTRY_LOCK:
+            candidates = sorted(_REGISTRY.values(),
+                                key=lambda e: -e.priority)
+        for candidate in candidates:
+            if candidate.vectorizable_only and not vectorizable:
+                continue
+            if candidate.available():
+                return candidate
+        raise EngineError(
+            f"no registered engine can execute here; registered: "
+            f"{list_engines()}")
+    if not engine.available():
+        raise EngineError(
+            f"engine {engine.name!r} is unavailable in this process; "
+            f"available engines: {list_engines(available_only=True)}")
+    return engine
+
+
+# Built-ins register at import; user engines join via register_engine.
+register_engine(PerBankEngine())
+register_engine(VectorizedEngine())
+register_engine(CompiledEngine())
+register_engine(NumbaEngine())

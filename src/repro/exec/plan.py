@@ -35,7 +35,8 @@ the vectorized path advances all banks µOp by µOp.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -151,10 +152,25 @@ class ExecutionPlan:
     steps: list[PlanStep]
     #: Stats of one replay in one bank (identical for every bank).
     per_bank_stats: CommandStats
+    #: Compiled executors keyed by engine name.  Engines lower the plan
+    #: once and memoize here, so the callable lives and dies with the
+    #: plan's cache entry (the control unit's plan cache already keys by
+    #: µProgram fingerprint — folding ``source_hash`` — plus layout).
+    executors: dict[str, Callable[[np.ndarray, np.ndarray], None]] = \
+        field(default_factory=dict, compare=False, repr=False)
 
     @property
     def n_steps(self) -> int:
         return len(self.steps)
+
+    def executor_for(self, engine) -> Callable[[np.ndarray, np.ndarray],
+                                               None]:
+        """The memoized executor this engine compiled for this plan."""
+        executor = self.executors.get(engine.name)
+        if executor is None:
+            executor = engine.compile(self)
+            self.executors[engine.name] = executor
+        return executor
 
     # ------------------------------------------------------------------
     # hot loop

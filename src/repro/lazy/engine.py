@@ -44,6 +44,7 @@ from repro.core.expr import Expr
 from repro.core.fuse import MAX_FUSED_INPUTS
 from repro.core.operations import get_operation
 from repro.errors import OperationError
+from repro.exec.engines import ExecutionEngine, get_engine
 from repro.lazy.tensor import (
     KIND_CONST,
     KIND_OP,
@@ -94,11 +95,11 @@ class _ModuleBackend:
         return self.sim.array(values, width, signed=signed)
 
     def run_segment(self, root: Expr, feeds: dict, width: int,
-                    engine: str):
+                    engine: ExecutionEngine):
         return self.sim.run_expr(root, feeds, width=width, engine=engine)
 
     def run_batch(self, roots: dict[str, Expr], feeds: dict, width: int,
-                  engine: str) -> dict[str, np.ndarray]:
+                  engine: ExecutionEngine) -> dict[str, np.ndarray]:
         return self.sim.run_multi(roots, feeds, width=width,
                                   engine=engine)
 
@@ -134,12 +135,12 @@ class _ClusterBackend:
         return self.cluster.tensor(values, width, signed=signed)
 
     def run_segment(self, root: Expr, feeds: dict, width: int,
-                    engine: str):
+                    engine: ExecutionEngine):
         return self.cluster.submit(root, feeds=feeds, width=width,
                                    engine=engine).tensor
 
     def run_batch(self, roots: dict[str, Expr], feeds: dict, width: int,
-                  engine: str) -> dict[str, np.ndarray]:
+                  engine: ExecutionEngine) -> dict[str, np.ndarray]:
         return self.cluster.run_multi(roots, feeds, width=width,
                                       engine=engine)
 
@@ -357,7 +358,8 @@ class LazyDevice:
     # ------------------------------------------------------------------
     def evaluate(self, tensors: list[LazyTensor],
                  width: int | None = None, wait: bool = True,
-                 engine: str = "auto") -> list[np.ndarray | None]:
+                 engine: "str | ExecutionEngine" = "auto",
+                 ) -> list[np.ndarray | None]:
         """Force a set of lazy tensors; returns their host values.
 
         Roots are grouped by inferred pipeline width (so a 4-bit
@@ -367,7 +369,12 @@ class LazyDevice:
         from a single multi-output µProgram.  With ``wait=False``
         results are submitted asynchronously and the returned entries
         are ``None``; a later :meth:`LazyTensor.numpy` gathers them.
+
+        ``engine`` (a registry name or an
+        :class:`~repro.exec.engines.ExecutionEngine`) is resolved once
+        here and the instance threaded through every segment dispatch.
         """
+        engine = get_engine(engine)
         outs: list[np.ndarray | None] = [None] * len(tensors)
         groups: dict[int, list[tuple[int, LazyTensor]]] = {}
         for i, tensor in enumerate(tensors):
@@ -480,7 +487,8 @@ class LazyDevice:
     # one width group: plan, materialize, dispatch
     # ------------------------------------------------------------------
     def _evaluate_group(self, roots: list[LazyTensor], w: int,
-                        wait: bool, engine: str) -> GroupReport:
+                        wait: bool,
+                        engine: ExecutionEngine) -> GroupReport:
         backend = self.backend
 
         def is_leaf(node: LazyTensor) -> bool:
@@ -594,7 +602,8 @@ class LazyDevice:
                 for name, needed in needed_widths.items()}
 
     def _materialize(self, node: LazyTensor, w: int, is_leaf,
-                     created: list, engine: str) -> object:
+                     created: list,
+                     engine: ExecutionEngine) -> object:
         """Run one partition segment; leaves a live device handle."""
         names: dict[int, str] = {}
         leaves: dict[str, LazyTensor] = {}
@@ -650,7 +659,8 @@ class LazyDevice:
         return batches
 
     def _run_batch(self, batch: list[LazyTensor], w: int, is_leaf,
-                   created: list, engine: str) -> None:
+                   created: list,
+                   engine: ExecutionEngine) -> None:
         """One multi-output dispatch computing every root in ``batch``."""
         names: dict[int, str] = {}
         leaves: dict[str, LazyTensor] = {}

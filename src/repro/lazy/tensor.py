@@ -129,15 +129,19 @@ class LazyTensor:
         """
         return self.device.evaluate([self])[0]
 
-    def evaluate(self, wait: bool = True) -> "LazyTensor":
+    def evaluate(self, wait: bool = True,
+                 engine="auto") -> "LazyTensor":
         """Force evaluation now; returns ``self`` for chaining.
 
         With ``wait=False`` on a cluster device the computation is
         *submitted* (the async job scheduler orders it against every
         other outstanding job) and this call returns immediately;
-        :meth:`numpy` later gathers the finished result.
+        :meth:`numpy` later gathers the finished result.  ``engine``
+        is an execution-engine registry name or
+        :class:`~repro.exec.engines.ExecutionEngine` instance,
+        resolved by the device.
         """
-        self.device.evaluate([self], wait=wait)
+        self.device.evaluate([self], wait=wait, engine=engine)
         return self
 
     # ------------------------------------------------------------------

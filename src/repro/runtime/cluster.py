@@ -38,6 +38,7 @@ from repro.core.fuse import compile_multi as _compile_multi
 from repro.core.operations import get_operation
 from repro.dram.commands import CommandStats
 from repro.errors import OperationError
+from repro.exec.engines import ExecutionEngine, get_engine
 from repro.runtime.paging import PagingManager
 from repro.runtime.scheduler import JobScheduler, Subtask
 from repro.runtime.tensor import DeviceTensor, TensorShard, plan_shards
@@ -55,6 +56,10 @@ class JobHandle:
 
     future: Future
     tensor: DeviceTensor
+    #: The execution engine the job was resolved to at submission —
+    #: one instance carried through every shard closure, instead of a
+    #: string re-interpreted per layer.
+    engine: "ExecutionEngine | None" = None
 
     def result(self, timeout: float | None = None) -> DeviceTensor:
         """Wait for completion (re-raising failures); returns the
@@ -301,7 +306,7 @@ class SimdramCluster:
     def submit(self, op: "str | Expr", *tensors: DeviceTensor,
                feeds: dict[str, DeviceTensor] | None = None,
                width: int | None = None, backend: str | None = None,
-               engine: str = "auto") -> JobHandle:
+               engine: "str | ExecutionEngine" = "auto") -> JobHandle:
         """Queue an operation; returns immediately with a handle.
 
         ``op`` is a catalog operation name (positional ``tensors``
@@ -309,7 +314,13 @@ class SimdramCluster:
         output tensor is usable as an operand of further submissions
         right away — the scheduler serializes dependent jobs and runs
         independent ones concurrently across modules.
+
+        ``engine`` (a registry name or an
+        :class:`~repro.exec.engines.ExecutionEngine`) is resolved once
+        here; the resolved instance rides on the :class:`JobHandle` and
+        every shard closure.
         """
+        engine = get_engine(engine)
         if isinstance(op, Expr):
             if tensors:
                 raise OperationError(
@@ -324,24 +335,25 @@ class SimdramCluster:
 
     def run(self, op_name: str, *operands: DeviceTensor,
             backend: str | None = None,
-            engine: str = "auto") -> DeviceTensor:
+            engine: "str | ExecutionEngine" = "auto") -> DeviceTensor:
         """Synchronous :meth:`submit` over the catalog: waits for the
         sharded execution and returns the output tensor."""
         return self._submit_run(op_name, operands, backend=backend,
-                                engine=engine).result()
+                                engine=get_engine(engine)).result()
 
     def run_expr(self, root: Expr, feeds: dict[str, DeviceTensor],
                  *, width: int | None = None, backend: str | None = None,
-                 engine: str = "auto") -> DeviceTensor:
+                 engine: "str | ExecutionEngine" = "auto") -> DeviceTensor:
         """Synchronous fused-expression execution across the cluster."""
         return self._submit_expr(root, feeds, width=width,
                                  backend=backend,
-                                 engine=engine).result()
+                                 engine=get_engine(engine)).result()
 
     def run_multi(self, roots: dict[str, Expr],
                   feeds: dict[str, DeviceTensor], *,
                   width: int | None = None, backend: str | None = None,
-                  engine: str = "auto") -> dict[str, np.ndarray]:
+                  engine: "str | ExecutionEngine" = "auto"
+                  ) -> dict[str, np.ndarray]:
         """Sharded :meth:`Simdram.run_multi`: one multi-output fused
         dispatch per shard, each root's slices gathered back to host.
 
@@ -349,6 +361,7 @@ class SimdramCluster:
         kernel is compiled once at the cluster level and adopted by
         every participating module.  Returns root name -> host vector.
         """
+        engine = get_engine(engine)
         if not roots:
             raise OperationError("run_multi needs at least one root")
         if not feeds:
@@ -421,7 +434,8 @@ class SimdramCluster:
 
     def _submit_run(self, op_name: str,
                     operands: tuple[DeviceTensor, ...],
-                    backend: str | None, engine: str) -> JobHandle:
+                    backend: str | None,
+                    engine: ExecutionEngine) -> JobHandle:
         spec = get_operation(op_name)
         if len(operands) != spec.arity:
             raise OperationError(
@@ -454,11 +468,12 @@ class SimdramCluster:
                 out.shards[index], execute)
 
         return self._submit_shard_jobs(out, operands, run_shard,
-                                       label=f"{op_name}@{width}")
+                                       label=f"{op_name}@{width}",
+                                       engine=engine)
 
     def _submit_expr(self, root: Expr, feeds: dict[str, DeviceTensor],
                      width: int | None, backend: str | None,
-                     engine: str) -> JobHandle:
+                     engine: ExecutionEngine) -> JobHandle:
         if not feeds:
             raise OperationError(
                 "run_expr needs at least one input tensor")
@@ -500,7 +515,8 @@ class SimdramCluster:
                 out.shards[index], execute)
 
         return self._submit_shard_jobs(out, operands, run_shard,
-                                       label=f"expr@{width}")
+                                       label=f"expr@{width}",
+                                       engine=engine)
 
     def _empty_like(self, template: DeviceTensor, width: int,
                     signed: bool) -> DeviceTensor:
@@ -529,7 +545,9 @@ class SimdramCluster:
 
     def _submit_shard_jobs(self, out: DeviceTensor,
                            operands: Sequence[DeviceTensor],
-                           run_shard, label: str) -> JobHandle:
+                           run_shard, label: str,
+                           engine: "ExecutionEngine | None" = None,
+                           ) -> JobHandle:
         subtasks: list[Subtask] = [
             (shard.module_index, (lambda i=index: run_shard(i)))
             for index, shard in enumerate(out.shards)
@@ -538,18 +556,19 @@ class SimdramCluster:
         reads = list({id(t): t for t in operands}.values())
         future = self.scheduler.submit(subtasks, reads=reads,
                                        writes=[out], label=label)
-        return JobHandle(future, out)
+        return JobHandle(future, out, engine)
 
     # ------------------------------------------------------------------
     # streaming execution over host vectors of any length
     # ------------------------------------------------------------------
     def map(self, op_name: str, *host_operands, width: int = 8,
             backend: str | None = None,
-            engine: str = "auto") -> np.ndarray:
+            engine: "str | ExecutionEngine" = "auto") -> np.ndarray:
         """Sharded :meth:`Simdram.map`: host vectors are split into
         contiguous per-module chunks that stream through all modules
         concurrently; each module batches its chunk exactly like the
         single-module path, so plan caches hit from batch 2 on."""
+        engine = get_engine(engine)
         spec = get_operation(op_name)
         if len(host_operands) != spec.arity:
             raise OperationError(
@@ -565,8 +584,9 @@ class SimdramCluster:
 
     def map_expr(self, root: Expr, feeds: dict[str, np.ndarray], *,
                  width: int = 8, backend: str | None = None,
-                 engine: str = "auto") -> np.ndarray:
+                 engine: "str | ExecutionEngine" = "auto") -> np.ndarray:
         """Sharded :meth:`Simdram.map_expr` (fused streaming)."""
+        engine = get_engine(engine)
         key, kernel = self.compile_expr(root, width, backend)
         names = list(kernel.input_names)
         missing = set(names) - set(feeds)

@@ -38,11 +38,13 @@ from repro.core.expr import Expr, analyze
 from repro.core.fuse import MAX_FUSED_INPUTS, kernel_identity
 from repro.core.operations import get_operation
 from repro.errors import OperationError
+from repro.exec.engines import ExecutionEngine, get_engine
 
 if TYPE_CHECKING:
     from repro.serve.service import ServeHandle
 
-#: A pack key: (kernel identity, engine).  Equal keys <=> lane-packable.
+#: A pack key: (kernel identity, engine name).  Equal keys <=>
+#: lane-packable: same µProgram, same operand interface, same engine.
 PackKey = tuple[tuple[str, int, str], str]
 
 
@@ -65,7 +67,9 @@ class PreparedRequest:
     vectors: list[np.ndarray]
     n_elements: int
     width: int
-    engine: str
+    #: The resolved engine instance the dispatch will run on (its
+    #: ``name`` is folded into ``key``).
+    engine: ExecutionEngine
     submitted_at: float
 
     def feeds(self) -> dict[str, np.ndarray]:
@@ -75,7 +79,7 @@ class PreparedRequest:
 
 def prepare(handle: "ServeHandle", op_or_root: "str | Expr",
             operands: Sequence, feeds: dict | None, width: int,
-            tenant: str, engine: str, backend: str,
+            tenant: str, engine: ExecutionEngine, backend: str,
             submitted_at: float) -> PreparedRequest:
     """Validate one request and normalize it into slot vectors.
 
@@ -84,7 +88,12 @@ def prepare(handle: "ServeHandle", op_or_root: "str | Expr",
     inconsistent widths, mismatched lengths, empty vectors.  The
     service calls this on its worker thread so a bad request fails
     *its own handle* and never poisons a co-packed dispatch.
+
+    ``engine`` may be a registry name (resolved here) or an already
+    resolved :class:`~repro.exec.engines.ExecutionEngine` instance
+    (the service resolves at submission and passes the instance).
     """
+    engine = get_engine(engine)
     if isinstance(op_or_root, Expr):
         if operands:
             raise OperationError(
@@ -120,7 +129,7 @@ def _check_lengths(vectors: list[np.ndarray], what: str) -> int:
 
 
 def _prepare_op(handle, op_name: str, operands: Sequence, width: int,
-                tenant: str, engine: str, backend: str,
+                tenant: str, engine: ExecutionEngine, backend: str,
                 submitted_at: float) -> PreparedRequest:
     spec = get_operation(op_name)
     if len(operands) != spec.arity:
@@ -134,14 +143,14 @@ def _prepare_op(handle, op_name: str, operands: Sequence, width: int,
     n = _check_lengths(vectors, op_name)
     return PreparedRequest(
         handle=handle, tenant=tenant,
-        key=(kernel_identity(op_name, width, backend), engine),
+        key=(kernel_identity(op_name, width, backend), engine.name),
         kind="op", op_name=op_name, root=None, slot_names=(),
         vectors=vectors, n_elements=n, width=width, engine=engine,
         submitted_at=submitted_at)
 
 
 def _prepare_expr(handle, root: Expr, feeds: dict, width: int,
-                  tenant: str, engine: str, backend: str,
+                  tenant: str, engine: ExecutionEngine, backend: str,
                   submitted_at: float) -> PreparedRequest:
     analysis = analyze(root, width)   # validates widths + structure
     names = tuple(analysis.input_widths)
@@ -161,7 +170,7 @@ def _prepare_expr(handle, root: Expr, feeds: dict, width: int,
     n = _check_lengths(vectors, "expression request")
     return PreparedRequest(
         handle=handle, tenant=tenant,
-        key=(kernel_identity(root, width, backend), engine),
+        key=(kernel_identity(root, width, backend), engine.name),
         kind="expr", op_name=None, root=root, slot_names=names,
         vectors=vectors, n_elements=n, width=width, engine=engine,
         submitted_at=submitted_at)

@@ -60,8 +60,10 @@ import numpy as np
 
 from repro.core.expr import Expr
 from repro.core.fuse import kernel_identity
+from repro.core.operations import get_operation
 from repro.dram.commands import CommandStats
 from repro.errors import AdmissionError, OperationError
+from repro.exec.engines import ExecutionEngine, get_engine
 from repro.lazy.tensor import LazyTensor
 from repro.serve.batcher import (
     LanePacker,
@@ -89,8 +91,9 @@ class ServeConfig:
     #: Lane-pack compatible requests (``False`` = one dispatch per
     #: request; the serving benchmark's baseline).
     pack: bool = True
-    #: Default execution engine for requests that don't choose one.
-    engine: str = "auto"
+    #: Default execution engine for requests that don't choose one —
+    #: a registry name or an :class:`~repro.exec.engines.ExecutionEngine`.
+    engine: "str | ExecutionEngine" = "auto"
 
 
 class ServeHandle:
@@ -149,7 +152,9 @@ class _RawRequest:
     feeds: dict | None
     width: int
     tenant: str
-    engine: str
+    #: Resolved at submission: one engine instance rides the request
+    #: through prepare, pack and dispatch (no per-layer string).
+    engine: ExecutionEngine
     submitted_at: float
     lanes: int
 
@@ -174,12 +179,12 @@ class _ModuleTarget:
         return self.sim.config.backend
 
     def map_op(self, op_name: str, vectors: list[np.ndarray],
-               width: int, engine: str) -> np.ndarray:
+               width: int, engine: ExecutionEngine) -> np.ndarray:
         return self.sim.map(op_name, *vectors, width=width,
                             engine=engine)
 
     def map_expr(self, root: Expr, feeds: dict, width: int,
-                 engine: str) -> np.ndarray:
+                 engine: ExecutionEngine) -> np.ndarray:
         return self.sim.map_expr(root, feeds, width=width,
                                  engine=engine)
 
@@ -188,6 +193,19 @@ class _ModuleTarget:
 
     def compile_expr(self, root: Expr, width: int) -> None:
         self.sim.compile_expr(root, width)
+
+    def warm(self, op_or_root, width: int,
+             engine: ExecutionEngine) -> None:
+        if isinstance(op_or_root, Expr):
+            kernel = self.sim.compile_expr(op_or_root, width)
+            self.sim.warm_executor(kernel.program, kernel.input_widths,
+                                   kernel.out_width, engine)
+        else:
+            name = str(op_or_root)
+            program = self.sim.compile(name, width)
+            spec = get_operation(name)
+            self.sim.warm_executor(program, spec.in_widths(width),
+                                   spec.out_width(width), engine)
 
     def paging_stats(self) -> CommandStats:
         return CommandStats()
@@ -217,12 +235,12 @@ class _ClusterTarget:
         return self.cluster.config.backend
 
     def map_op(self, op_name: str, vectors: list[np.ndarray],
-               width: int, engine: str) -> np.ndarray:
+               width: int, engine: ExecutionEngine) -> np.ndarray:
         return self.cluster.map(op_name, *vectors, width=width,
                                 engine=engine)
 
     def map_expr(self, root: Expr, feeds: dict, width: int,
-                 engine: str) -> np.ndarray:
+                 engine: ExecutionEngine) -> np.ndarray:
         return self.cluster.map_expr(root, feeds, width=width,
                                      engine=engine)
 
@@ -231,6 +249,23 @@ class _ClusterTarget:
 
     def compile_expr(self, root: Expr, width: int) -> None:
         self.cluster.compile_expr(root, width)
+
+    def warm(self, op_or_root, width: int,
+             engine: ExecutionEngine) -> None:
+        if isinstance(op_or_root, Expr):
+            key, kernel = self.cluster.compile_expr(op_or_root, width)
+            for sim in self.cluster.modules:
+                sim.adopt_kernel(key, kernel)
+                sim.warm_executor(kernel.program, kernel.input_widths,
+                                  kernel.out_width, engine)
+        else:
+            name = str(op_or_root)
+            program = self.cluster.compile(name, width)
+            spec = get_operation(name)
+            for sim in self.cluster.modules:
+                sim.adopt_program(program)
+                sim.warm_executor(program, spec.in_widths(width),
+                                  spec.out_width(width), engine)
 
     def paging_stats(self) -> CommandStats:
         return self.cluster.paging_stats()
@@ -332,7 +367,8 @@ class SimdramService:
     # ------------------------------------------------------------------
     def submit(self, op, *operands, feeds: dict | None = None,
                width: int = 8, tenant: str = "default",
-               engine: str | None = None, block: bool = True,
+               engine: "str | ExecutionEngine | None" = None,
+               block: bool = True,
                timeout: float | None = None) -> ServeHandle:
         """Queue one request; returns its :class:`ServeHandle`.
 
@@ -370,7 +406,11 @@ class SimdramService:
                     self.metrics.record_reject(tenant)
                     raise AdmissionError("service is closed")
             op, feeds, width = op.device.export(op)
-        engine = engine or self.config.engine
+        # Resolved once, here: an unknown legacy string raises (with a
+        # DeprecationWarning naming list_engines()) on the caller's
+        # thread; the resolved instance rides the request object.
+        engine = get_engine(self.config.engine if engine is None
+                            else engine)
         lanes = self._lane_estimate(op, operands, feeds)
         handle = ServeHandle(next(self._ids), tenant, lanes)
         raw = _RawRequest(handle=handle, op_or_root=op,
@@ -508,18 +548,18 @@ class SimdramService:
         """Precompile a declared operation manifest.
 
         ``manifest`` entries are ``(op_name_or_expr, width)``.  Each
-        kernel compiles into the target's caches (and, on a cluster,
-        is adopted by every module on first dispatch), so the first
-        real request replays an installed µProgram instead of paying
-        Steps 1+2 inline.  Returns a summary dict.
+        kernel compiles into the target's caches (on a cluster, every
+        module adopts it), *and* its execution plan plus the service's
+        configured engine's compiled executor are warmed against the
+        row layout a packed dispatch will bind — so the first real
+        request replays a fully warm pipeline instead of paying
+        Steps 1+2 or codegen inline.  Returns a summary dict.
         """
         start = time.perf_counter()
+        engine = get_engine(self.config.engine)
         kernels: list[list] = []
         for op_or_root, width in manifest:
-            if isinstance(op_or_root, Expr):
-                self._target.compile_expr(op_or_root, width)
-            else:
-                self._target.compile_op(str(op_or_root), width)
+            self._target.warm(op_or_root, width, engine)
             identity = kernel_identity(op_or_root, width,
                                        self._target.backend)
             kernels.append([identity[0], width])

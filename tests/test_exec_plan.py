@@ -1,12 +1,14 @@
-"""Differential tests: the vectorized execution engine must be
+"""Differential tests: every registered execution engine must be
 bit-identical to the per-subarray slow path.
 
-Every catalog operation × element width {4, 8, 16} × both backends is
-run through *both* engines on identically-seeded systems; outputs,
-aggregate :class:`CommandStats`, per-bank stats and the complete DRAM
-cell state (data rows *and* B-group planes) must match exactly.  The
-remaining tests cover plan compilation/caching, the trace/fault forced
-fallback, and allocator balance on failing executions.
+Every catalog operation × element width {4, 8, 16} × both backends ×
+every available plan-based engine (vectorized, compiled, and
+compiled-numba where importable) is run on identically-seeded systems
+against the per-bank baseline; outputs, aggregate
+:class:`CommandStats`, per-bank stats and the complete DRAM cell state
+(data rows *and* B-group planes) must match exactly.  The remaining
+tests cover plan compilation/caching, the trace/fault forced fallback,
+and allocator balance on failing executions.
 """
 
 import numpy as np
@@ -18,6 +20,7 @@ from repro.core.operations import CATALOG, get_operation
 from repro.dram.geometry import DramGeometry
 from repro.dram.rows import b_row, data_row
 from repro.errors import CommandError, ExecutionError
+from repro.exec.engines import list_engines
 from repro.exec.layout import RowLayout
 from repro.exec.plan import StepKind, compile_plan
 from repro.uprog.program import MicroProgram, OperandSpec
@@ -26,6 +29,10 @@ from repro.uprog.uops import Space, UAap, UAp, URow
 GEOMETRY = DramGeometry.sim_small(cols=16, data_rows=768, banks=2)
 WIDTHS = (4, 8, 16)
 BACKENDS = ("simdram", "ambit")
+#: Every registered plan-based engine that can run in this process —
+#: each is sweep-verified against the per-bank baseline.
+FAST_ENGINES = tuple(name for name in list_engines(available_only=True)
+                     if name != "per_bank")
 
 #: Compiled µPrograms shared across both engines' systems (compilation
 #: is deterministic and by far the most expensive part of the sweep).
@@ -71,12 +78,27 @@ def _run_one(op_name: str, width: int, backend: str, engine: str):
     }
 
 
+#: Per-bank baselines, computed once per (op, width, backend) and
+#: compared against every fast engine.
+_BASELINES: dict[tuple[str, int, str], dict] = {}
+
+
+def _baseline(op_name: str, width: int, backend: str) -> dict:
+    key = (op_name, width, backend)
+    result = _BASELINES.get(key)
+    if result is None:
+        result = _BASELINES[key] = _run_one(op_name, width, backend,
+                                            "per_bank")
+    return result
+
+
+@pytest.mark.parametrize("engine", FAST_ENGINES)
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("width", WIDTHS)
 @pytest.mark.parametrize("op_name", sorted(CATALOG))
-def test_engines_bit_identical(op_name, width, backend):
-    fast = _run_one(op_name, width, backend, "vectorized")
-    slow = _run_one(op_name, width, backend, "per_bank")
+def test_engines_bit_identical(op_name, width, backend, engine):
+    fast = _run_one(op_name, width, backend, engine)
+    slow = _baseline(op_name, width, backend)
     assert np.array_equal(fast["output"], slow["output"])
     assert fast["run_stats"] == slow["run_stats"]
     assert fast["bank_stats"] == slow["bank_stats"]

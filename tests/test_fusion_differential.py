@@ -37,6 +37,10 @@ from repro.errors import OperationError
 from repro.exec.layout import RowLayout
 from repro.isa.instructions import BbopKind
 from repro.uprog.uops import INPUT_SPACES, Space
+from repro.exec.engines import list_engines
+
+#: Every engine available in this process, per-bank baseline included.
+ALL_ENGINES = tuple(list_engines(available_only=True))
 
 WIDTHS = (4, 8, 16)
 LEAF_NAMES = ("x", "y", "z")
@@ -192,7 +196,7 @@ def differential_check(sim: Simdram, root, width: int,
     try:
         fused_results = {}
         fused_announces = {}
-        for engine in ("vectorized", "per_bank"):
+        for engine in ALL_ENGINES:
             before = announces(sim)
             out = sim.run_expr(root, arrays, width=width, engine=engine)
             fused_announces[engine] = announces(sim) - before
@@ -203,10 +207,9 @@ def differential_check(sim: Simdram, root, width: int,
         sequential, programs = run_sequential(sim, root, arrays, width)
         sequential_announces = announces(sim) - before
 
-        assert np.array_equal(fused_results["vectorized"], golden), \
-            f"vectorized fused != golden for {root!r} @ {width}"
-        assert np.array_equal(fused_results["per_bank"], golden), \
-            f"per-bank fused != golden for {root!r} @ {width}"
+        for engine, values in fused_results.items():
+            assert np.array_equal(values, golden), \
+                f"{engine} fused != golden for {root!r} @ {width}"
         assert np.array_equal(sequential, golden), \
             f"sequential != golden for {root!r} @ {width}"
 
@@ -298,7 +301,7 @@ class TestAcceptancePipeline:
         golden = E.golden(root, feeds_np, 8)
         arrays = {name: sim.array(v, 8) for name, v in feeds_np.items()}
 
-        for engine in ("vectorized", "per_bank"):
+        for engine in ALL_ENGINES:
             out = sim.run_expr(root, arrays, width=8, engine=engine)
             assert np.array_equal(read_unsigned(sim, out), golden)
             out.free()

@@ -525,10 +525,14 @@ class TestWarmupAndMetrics:
             summary = service.warmup(
                 [("add", 8), ("min", 8), (brighten_expr(), 8)])
             assert summary["n_kernels"] == 3
-            assert service._target.kernel_cache_size() == before + 3
-            # Serving a warmed op compiles nothing new.
+            # Each warmed kernel adds one µProgram/fused kernel *and*
+            # one compiled executor on its cached execution plan.
+            after_warm = service._target.kernel_cache_size()
+            assert after_warm == before + 6
+            # Serving a warmed op compiles nothing new — not even the
+            # plan or the engine's compiled executor.
             service.submit("add", [1], [2], width=8).result(60)
-            assert service._target.kernel_cache_size() == before + 3
+            assert service._target.kernel_cache_size() == after_warm
 
     def test_full_group_metrics(self):
         """8 single-lane requests into an 8-lane service: exactly one
