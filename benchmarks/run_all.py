@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run every CI benchmark gate and publish one unified report.
 
-The single entry point the CI benchmark job calls.  Executes all six
+The single entry point the CI benchmark job calls.  Executes all seven
 regression gates —
 
 * ``vectorized`` — batched execution engine >= 5x the per-bank
@@ -20,6 +20,9 @@ regression gates —
 * ``serve`` — lane-packed serving of 64 concurrent single-lane
   requests >= 3x the one-dispatch-per-request modeled throughput at
   >= 50% lane occupancy (``bench_serve``);
+* ``scale_out`` — 4 replica processes >= 2.5x 1-replica modeled
+  serving throughput, plus the kill-one-replica failover drill with
+  every in-flight request bit-exact (``bench_scale_out``);
 
 — merges their sections into one schema-versioned ``bench_ci.json``
 (see :mod:`gate_utils` for the layout) and exits nonzero listing
@@ -43,6 +46,7 @@ import bench_cluster
 import bench_compiled
 import bench_fusion
 import bench_lazy
+import bench_scale_out
 import bench_serve
 from gate_utils import merge_gate
 
@@ -55,6 +59,7 @@ GATES = (
     ("cluster", bench_cluster),
     ("lazy", bench_lazy),
     ("serve", bench_serve),
+    ("scale_out", bench_scale_out),
 )
 
 

@@ -9,6 +9,7 @@ Examples::
     python -m repro demo                       # end-to-end functional run
     python -m repro cluster --modules 4 --op add --n 4096
     python -m repro serve-demo --requests 96   # multi-tenant serving demo
+    python -m repro serve-cluster --replicas 4 --kill-one
 """
 
 from __future__ import annotations
@@ -219,6 +220,80 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0 if n_ok == args.requests else 1
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """Serve mixed traffic over N replica *processes* behind the
+    consistent-hash router; optionally SIGKILL one replica mid-flight
+    to demonstrate failover.  Every result is verified against numpy."""
+    import time
+
+    from repro.serve import ServeConfig, SimdramService
+    from repro.serve.router import ReplicaRouter
+
+    width = args.width
+    mask = (1 << width) - 1
+    geometry = DramGeometry.sim_small(
+        cols=args.cols, data_rows=args.data_rows, banks=args.banks)
+    config = SimdramConfig(geometry=geometry)
+    rng = np.random.default_rng(args.seed)
+    ops = ("add", "sub", "min", "max")
+    goldens = {"add": lambda a, b: (a + b) & mask,
+               "sub": lambda a, b: (a - b) & mask,
+               "min": np.minimum, "max": np.maximum}
+
+    requests = []
+    for i in range(args.requests):
+        op = ops[i % len(ops)]
+        a = rng.integers(0, 1 << (width - 1), args.lanes)
+        b = rng.integers(0, 1 << (width - 1), args.lanes)
+        requests.append((op, a, b))
+
+    manifest = [(op, width) for op in ops]
+    with ReplicaRouter(args.replicas, config=config,
+                       manifest=manifest) as router, \
+            SimdramService(
+                router,
+                ServeConfig(max_wait_s=args.max_wait_ms / 1e3)) as service:
+        handles = [service.submit(op, a, b, width=width)
+                   for op, a, b in requests]
+        if args.kill_one and args.replicas > 1:
+            victim = 0
+            deadline = time.monotonic() + 30
+            while (time.monotonic() < deadline
+                   and router.replicas.n_inflight(victim) == 0
+                   and not all(h.done() for h in handles)):
+                time.sleep(0.0005)
+            router.kill(victim)
+        n_ok = sum(
+            bool(np.array_equal(handle.result(300) & mask,
+                                goldens[op](a, b)))
+            for handle, (op, a, b) in zip(handles, requests))
+        stats = service.stats()
+
+    tier = stats["replica_tier"]
+    rows = [
+        ("replicas (alive at end)",
+         f"{args.replicas} ({len(tier['alive'])})"),
+        ("requests verified", f"{n_ok} / {args.requests}"),
+        ("dispatches", stats["packing"]["dispatches"]),
+        ("replica deaths", stats["failover"]["replica_deaths"]),
+        ("requeued requests", stats["failover"]["requeued_requests"]),
+        ("router rebalances", tier["router"]["rebalanced"]),
+        ("modeled makespan (us)",
+         round(max((info.get("busy_ns", 0) for info in
+                    tier["replicas"].values()), default=0) / 1e3, 2)),
+    ]
+    for rid, counters in sorted(stats["replicas"].items()):
+        rows.append((f"replica {rid}",
+                     f"{counters['dispatches']} dispatches, "
+                     f"{counters['requests']} requests"))
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.requests} requests over {args.replicas} replica "
+              f"processes"
+              + (" (one killed mid-flight)" if args.kill_one else "")))
+    return 0 if n_ok == args.requests else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -279,6 +354,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--data-rows", type=int, default=256)
     serve_parser.add_argument("--banks", type=int, default=2)
     serve_parser.add_argument("--seed", type=int, default=0)
+
+    sc_parser = sub.add_parser(
+        "serve-cluster",
+        help="serve over N replica processes with failover")
+    sc_parser.add_argument("--replicas", type=int, default=2,
+                           help="replica processes to spawn")
+    sc_parser.add_argument("--requests", type=int, default=32)
+    sc_parser.add_argument("--lanes", type=int, default=256,
+                           help="elements per request vector")
+    sc_parser.add_argument("--width", type=int, default=8)
+    sc_parser.add_argument("--kill-one", action="store_true",
+                           help="SIGKILL one replica mid-flight to "
+                                "demonstrate failover")
+    sc_parser.add_argument("--max-wait-ms", type=float, default=1.0)
+    sc_parser.add_argument("--cols", type=int, default=32)
+    sc_parser.add_argument("--data-rows", type=int, default=256)
+    sc_parser.add_argument("--banks", type=int, default=2)
+    sc_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -289,6 +382,7 @@ _HANDLERS = {
     "demo": _cmd_demo,
     "cluster": _cmd_cluster,
     "serve-demo": _cmd_serve_demo,
+    "serve-cluster": _cmd_serve_cluster,
 }
 
 

@@ -414,21 +414,29 @@ class Simdram:
 
     def shift_right(self, array: SimdramArray, amount: int,
                     signed: bool | None = None) -> SimdramArray:
-        """Elementwise **logical** right shift, entirely in DRAM.
+        """Elementwise right shift, entirely in DRAM — matching the
+        operand's encoding (numpy ``>>`` semantics).
 
-        The vacated high bit rows are RowCloned from the all-zeros
-        control row, so this is a logical (zero-filling) shift, *not* an
-        arithmetic one; on a signed source the sign bit is discarded.
-        The result is therefore unsigned by default (``signed=None``),
-        making the reinterpretation explicit at the call site — pass
-        ``signed=True`` only if you intend to reinterpret the shifted
-        bits as two's complement.
+        On an **unsigned** source the vacated high bit rows are
+        RowCloned from the all-zeros control row (logical shift).  On a
+        **signed** source they are RowCloned from the source's *sign
+        plane* — the bit row holding every element's sign bit — so
+        negative values stay negative: an arithmetic shift costs the
+        same one AAP per bit row as a logical one, the vacated rows
+        just copy a data row instead of a control row.
+
+        ``signed`` overrides the default operand-driven behaviour:
+        ``signed=False`` forces a logical (zero-filling) shift with an
+        unsigned result; ``signed=True`` forces an arithmetic
+        (sign-filling) shift with a signed result.
         """
+        arithmetic = array.signed if signed is None else signed
         return self._shift(array, amount, left=False,
-                           signed=False if signed is None else signed)
+                           signed=arithmetic, arithmetic=arithmetic)
 
     def _shift(self, array: SimdramArray, amount: int, left: bool,
-               signed: bool | None = None) -> SimdramArray:
+               signed: bool | None = None,
+               arithmetic: bool = False) -> SimdramArray:
         from repro.dram.rows import ctrl_row, data_row
         if amount < 0:
             raise OperationError(f"shift amount must be >= 0, "
@@ -437,10 +445,13 @@ class Simdram:
         array.require_live()
         out = self.empty(array.n_elements, array.width,
                          signed=array.signed if signed is None else signed)
+        sign_plane = data_row(array.block.base + array.width - 1)
         for bit in range(array.width):
             source_bit = bit - amount if left else bit + amount
             if 0 <= source_bit < array.width:
                 source = data_row(array.block.base + source_bit)
+            elif arithmetic and not left:
+                source = sign_plane  # shifted-in copies of the sign bit
             else:
                 source = ctrl_row(0)  # shifted-in zeros
             self.module.broadcast_aap(source,

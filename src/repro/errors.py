@@ -51,6 +51,14 @@ class EngineError(ExecutionError):
     catch engine-selection failures keep working."""
 
 
+class ReplicaError(ExecutionError):
+    """The multi-process replica tier failed a request: a replica
+    process died with no survivor to fail over to, a payload could not
+    cross the process boundary, or the replica set is shutting down.
+    Subclasses :class:`ExecutionError` because from the caller's view a
+    replicated dispatch is just an execution that could not complete."""
+
+
 class OperationError(SimdramError):
     """An operation is unknown, or its operands are invalid."""
 

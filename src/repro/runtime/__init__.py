@@ -15,7 +15,10 @@ layer for the reproduction:
   instead of raising;
 * :class:`~repro.runtime.scheduler.JobScheduler` tracks read/write
   dependencies per tensor and runs independent jobs on different
-  modules concurrently while serializing conflicting ones.
+  modules concurrently while serializing conflicting ones;
+* :class:`~repro.runtime.replica.ReplicaSet` escapes the GIL entirely:
+  N whole clusters in separate processes with shared-memory tensor
+  transport, heartbeat health checks and in-flight failover hooks.
 
 Typical use::
 
@@ -30,12 +33,16 @@ Typical use::
 
 from repro.runtime.cluster import JobHandle, SimdramCluster
 from repro.runtime.paging import PagingManager
+from repro.runtime.replica import PendingJob, ReplicaSet, WorkDescriptor
 from repro.runtime.scheduler import JobScheduler
 from repro.runtime.tensor import DeviceTensor, TensorShard, plan_shards
 
 __all__ = [
     "SimdramCluster",
     "JobHandle",
+    "ReplicaSet",
+    "WorkDescriptor",
+    "PendingJob",
     "DeviceTensor",
     "TensorShard",
     "plan_shards",

@@ -170,6 +170,33 @@ class SimdramCluster:
             self._multis[key] = kernel
         return key, kernel
 
+    def warm(self, op_or_root: "str | Expr", width: int,
+             engine: "str | ExecutionEngine" = "auto") -> None:
+        """Precompile one kernel on every member module.
+
+        Compiles the operation (or fused ``Expr`` DAG) once at the
+        cluster level, has every module adopt it, and warms each
+        module's execution plan plus the engine's compiled executor
+        against the row layout a batched dispatch binds — the serving
+        layer's manifest warmup, and the replica tier's spawn-time
+        cache fill, both go through here.
+        """
+        engine = get_engine(engine)
+        if isinstance(op_or_root, Expr):
+            key, kernel = self.compile_expr(op_or_root, width)
+            for sim in self.modules:
+                sim.adopt_kernel(key, kernel)
+                sim.warm_executor(kernel.program, kernel.input_widths,
+                                  kernel.out_width, engine)
+        else:
+            name = str(op_or_root)
+            program = self.compile(name, width)
+            spec = get_operation(name)
+            for sim in self.modules:
+                sim.adopt_program(program)
+                sim.warm_executor(program, spec.in_widths(width),
+                                  spec.out_width(width), engine)
+
     # ------------------------------------------------------------------
     # modeled time accounting (worker-thread confined per module)
     # ------------------------------------------------------------------

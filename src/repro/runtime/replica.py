@@ -1,0 +1,737 @@
+"""Multi-process replication: N ``SimdramCluster`` replicas.
+
+Everything below the serving layer runs in one Python process, so
+worker threads only overlap the numpy portions of a dispatch — the
+Python fraction still serializes on the GIL.  This module is the
+scale-out answer: a :class:`ReplicaSet` spawns N replicas, each a full
+:class:`~repro.runtime.cluster.SimdramCluster` living in its **own
+process**, and gives the parent a thread-safe transport to them:
+
+* **work descriptors** travel over a duplex pipe as pickled
+  :class:`WorkDescriptor` objects — a catalog op name or a whole
+  :class:`~repro.core.expr.Expr` DAG, the pipeline width and the
+  execution-engine registry name (engine *instances* never cross the
+  boundary; each replica resolves the name against its own registry);
+* **tensor payloads** travel through POSIX shared memory
+  (:mod:`multiprocessing.shared_memory`): the parent copies the packed
+  operand vectors into one segment per dispatch, the replica maps them
+  as ndarrays with zero deserialization cost, and the result comes
+  back the same way;
+* **health** is a heartbeat loop: a monitor thread pings every replica
+  and watches process liveness; a broken pipe, a dead process or (when
+  ``max_silent_s`` is set) a prolonged silence marks the replica dead,
+  fails nothing silently, and hands its in-flight jobs to a death
+  handler — the serving router's failover hook — or, absent one, fails
+  their futures with :class:`~repro.errors.ReplicaError`;
+* **warmup**: each replica fills its kernel caches from a declared
+  manifest at spawn (and on demand via :meth:`ReplicaSet.warm`), so a
+  fresh replica's first dispatch replays a warm pipeline.
+
+The parent keeps every in-flight job's descriptor *and* payload until
+it resolves, so a job lost to a dying replica can be re-sent to a
+survivor byte-for-byte — the property the failover drill gates on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.expr import Expr
+from repro.errors import OperationError, ReplicaError
+
+#: (offset, shape, dtype string) of one vector inside a shared segment.
+SlotMeta = tuple[int, tuple[int, ...], str]
+
+
+@dataclass(frozen=True)
+class WorkDescriptor:
+    """One dispatch, in the form that crosses the process boundary.
+
+    ``kind`` is ``"op"`` (catalog operation, positional slots) or
+    ``"expr"`` (fused DAG; ``slot_names`` binds the payload vectors to
+    leaf names).  ``engine`` is an execution-engine *registry name* —
+    the replica resolves it locally.
+    """
+
+    kind: str
+    op_name: str | None
+    root: Expr | None
+    slot_names: tuple[str, ...]
+    width: int
+    engine: str
+
+    def label(self) -> str:
+        return (self.op_name if self.kind == "op"
+                else f"expr@{self.width}")
+
+
+@dataclass
+class PendingJob:
+    """Parent-side record of one in-flight dispatch (kept until the
+    job resolves so failover can re-send it byte-for-byte)."""
+
+    job_id: int
+    desc: WorkDescriptor
+    vectors: list[np.ndarray]
+    lanes: int
+    future: Future
+    shm: "shared_memory.SharedMemory | None" = None
+    #: Replica ids this job has already died on (failover audit trail).
+    attempts: list[int] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory ndarray transport
+#
+# Ownership protocol: the parent owns every ``unlink`` — it unlinks
+# payload segments once their job resolves and result segments after
+# copying them out.  CPython 3.11 registers a segment with the calling
+# process's resource tracker on *attach as well as create* (create-only
+# tracking arrived in 3.13), and every replica runs its *own* tracker
+# (:func:`_detach_resource_tracker` severs any inherited one), so every
+# process must balance its own books: a segment closed *without* being
+# unlinked in this process is explicitly unregistered via
+# :func:`_untrack`, while ``unlink`` unregisters as a side effect.
+# Crash safety falls out of the same rule: a replica SIGKILLed mid-job
+# still has its unsent result segment registered, so its tracker reaps
+# the file at process teardown, and the parent unlinks the payload.
+# ---------------------------------------------------------------------------
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop this process's tracker registration for a segment whose
+    ``unlink`` another process owns (see the ownership protocol).
+    ``_name`` is the registered key (``name`` strips the leading
+    slash that POSIX registration keeps)."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - bookkeeping must never fail a job
+        pass
+
+
+def _drop_segment(name: str) -> None:
+    """Unlink a segment whose job record is gone (failover race: the
+    original replica answered after the job was re-queued)."""
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        _untrack(shm)
+    shm.close()
+def _share_vectors(vectors: Sequence[np.ndarray]
+                   ) -> tuple[shared_memory.SharedMemory, list[SlotMeta]]:
+    """Copy vectors into one fresh shared segment; returns (shm, metas)."""
+    arrays = [np.ascontiguousarray(v) for v in vectors]
+    total = max(1, sum(a.nbytes for a in arrays))
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    metas: list[SlotMeta] = []
+    offset = 0
+    for a in arrays:
+        view = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf,
+                          offset=offset)
+        view[:] = a
+        metas.append((offset, a.shape, a.dtype.str))
+        offset += a.nbytes
+    return shm, metas
+
+
+def _read_shared(name: str, metas: Sequence[SlotMeta],
+                 unlink: bool = False) -> list[np.ndarray]:
+    """Copy vectors out of a named segment (attach, copy, detach;
+    ``unlink=True`` additionally removes the segment — see the
+    ownership protocol above)."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        out = [np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf,
+                          offset=off).copy()
+               for off, shape, dt in metas]
+    finally:
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                _untrack(shm)
+        else:
+            _untrack(shm)
+        shm.close()
+    return out
+
+
+def _sendable(error: BaseException) -> BaseException:
+    """An exception safe to pickle through the pipe (original when
+    possible, a :class:`ReplicaError` carrying its repr otherwise)."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:  # noqa: BLE001 - any pickle/reconstruct failure
+        return ReplicaError(f"{type(error).__name__}: {error}")
+
+
+# ---------------------------------------------------------------------------
+# the replica process
+# ---------------------------------------------------------------------------
+def _warm_manifest(cluster, manifest) -> int:
+    """Fill a replica's kernel caches from ``(op_or_root, width[,
+    engine])`` manifest entries; returns the kernel count."""
+    count = 0
+    for entry in manifest or ():
+        op_or_root, width = entry[0], entry[1]
+        engine = entry[2] if len(entry) > 2 else "auto"
+        cluster.warm(op_or_root, width, engine)
+        count += 1
+    return count
+
+
+def _replica_info(cluster) -> dict:
+    paging = cluster.paging_stats()
+    return {
+        "pid": os.getpid(),
+        "busy_ns": cluster.makespan_ns(),
+        "kernels_cached": cluster.kernel_cache_size,
+        "paging": {
+            "n_spills": paging.n_spills,
+            "n_fills": paging.n_fills,
+            "spill_bits": paging.spill_bits,
+            "fill_bits": paging.fill_bits,
+        },
+    }
+
+
+def _detach_resource_tracker() -> None:
+    """Give this replica a resource tracker of its own.  A forked child
+    may inherit the parent's tracker connection; the tracker's cache is
+    a plain set (no refcount), so the child's attach-side unregister
+    calls would wipe the parent's create-side registrations and the
+    parent's later ``unlink`` would double-remove.  Severing the
+    inherited connection makes every process's bookkeeping independent:
+    this replica's first shared-memory call spawns a fresh tracker."""
+    tracker = resource_tracker._resource_tracker
+    fd = getattr(tracker, "_fd", None)
+    tracker._fd = None
+    tracker._pid = None
+    if fd is not None:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+
+def _replica_main(replica_id: int, conn, n_modules: int, config,
+                  manifest, seed: int | None) -> None:
+    """The child process: build a cluster, warm it, serve the pipe."""
+    # The parent owns lifecycle; a ^C aimed at the parent's terminal
+    # must not take the replicas down mid-failover.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    _detach_resource_tracker()
+    from repro.runtime.cluster import SimdramCluster
+    try:
+        cluster = SimdramCluster(n_modules, config=config, seed=seed)
+        warmed = _warm_manifest(cluster, manifest)
+        conn.send(("ready", replica_id,
+                   {"lanes": cluster.lanes,
+                    "backend": cluster.config.backend,
+                    "n_modules": n_modules,
+                    "kernels_warmed": warmed,
+                    **_replica_info(cluster)}))
+    except BaseException as error:  # noqa: BLE001 - report, don't hang spawn
+        conn.send(("spawn-error", replica_id, _sendable(error)))
+        return
+    with cluster:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; nothing left to serve
+            tag = message[0]
+            if tag == "stop":
+                try:
+                    conn.send(("stopped", replica_id))
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+            if tag == "ping":
+                conn.send(("pong", message[1], _replica_info(cluster)))
+            elif tag == "warm":
+                token, entries = message[1], message[2]
+                try:
+                    n = _warm_manifest(cluster, entries)
+                    conn.send(("warmed", token, n))
+                except Exception as error:  # noqa: BLE001
+                    conn.send(("warm-error", token, _sendable(error)))
+            elif tag == "job":
+                job_id, desc, shm_name, metas = message[1:]
+                try:
+                    vectors = _read_shared(shm_name, metas)
+                    from repro.exec.engines import get_engine
+                    engine = get_engine(desc.engine)
+                    if desc.kind == "op":
+                        out = cluster.map(desc.op_name, *vectors,
+                                          width=desc.width, engine=engine)
+                    else:
+                        out = cluster.map_expr(
+                            desc.root, dict(zip(desc.slot_names, vectors)),
+                            width=desc.width, engine=engine)
+                    out_shm, out_metas = _share_vectors([out])
+                    conn.send(("result", job_id, out_shm.name,
+                               out_metas[0], _replica_info(cluster)))
+                    # The parent unlinks after copying the result out;
+                    # untracking only after the send keeps the local
+                    # tracker as the safety net if this replica dies
+                    # before the parent learns the segment's name.
+                    _untrack(out_shm)
+                    out_shm.close()
+                except Exception as error:  # noqa: BLE001 - fail the one job
+                    conn.send(("job-error", job_id, _sendable(error),
+                               _replica_info(cluster)))
+
+
+# ---------------------------------------------------------------------------
+# parent-side handles
+# ---------------------------------------------------------------------------
+class ReplicaHandle:
+    """Parent-side view of one replica process."""
+
+    def __init__(self, replica_id: int, process, conn) -> None:
+        self.replica_id = replica_id
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.info: dict = {}
+        self.last_pong = time.monotonic()
+        self.pings_sent = 0
+        self.pongs_received = 0
+        #: Dispatches this replica completed (success or per-job error).
+        self.jobs_done = 0
+        self._send_lock = threading.Lock()
+
+    def send(self, message) -> None:
+        """Pickle one message down the pipe (thread-safe); raises
+        :class:`ReplicaError` if the pipe is broken."""
+        try:
+            with self._send_lock:
+                self.conn.send(message)
+        except (BrokenPipeError, OSError, ValueError,
+                TypeError, AttributeError) as error:
+            # TypeError/AttributeError: another thread closed the
+            # connection mid-send (a closed Connection nulls its
+            # handle, so the raw write sees None).
+            raise ReplicaError(
+                f"replica {self.replica_id} is unreachable: {error}"
+            ) from error
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (f"ReplicaHandle(#{self.replica_id}, "
+                f"pid={self.process.pid}, {state})")
+
+
+class ReplicaSet:
+    """N ``SimdramCluster`` replicas in separate processes (see the
+    module docstring for the transport protocol)."""
+
+    def __init__(self, n_replicas: int, n_modules: int = 1,
+                 config=None, manifest: Sequence[tuple] | None = None,
+                 seed: int | None = 1, heartbeat_s: float = 0.25,
+                 max_silent_s: float | None = None,
+                 spawn_timeout_s: float = 120.0,
+                 start_method: str | None = None) -> None:
+        if n_replicas < 1:
+            raise OperationError(
+                f"a replica set needs >= 1 replica, got {n_replicas}")
+        from repro.core.framework import SimdramConfig
+        self.config = config or SimdramConfig()
+        self.n_modules = n_modules
+        self.heartbeat_s = heartbeat_s
+        self.max_silent_s = max_silent_s
+        self.manifest = list(manifest or ())
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._jobs: dict[int, dict[int, PendingJob]] = {}
+        self._controls: dict[tuple[int, int], Future] = {}
+        self._job_ids = itertools.count()
+        self._tokens = itertools.count()
+        self._death_handler: "Callable[[int, list[PendingJob]], None] | None" = None
+        self._closing = False
+        self.deaths = 0
+
+        ctx = multiprocessing.get_context(start_method)
+        self.replicas: list[ReplicaHandle] = []
+        for i in range(n_replicas):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_replica_main, name=f"simdram-replica-{i}",
+                args=(i, child_conn, n_modules, self.config, self.manifest,
+                      None if seed is None else seed + 7919 * i),
+                daemon=True)
+            process.start()
+            child_conn.close()  # keep exactly one parent-side end open
+            self.replicas.append(ReplicaHandle(i, process, parent_conn))
+            self._jobs[i] = {}
+
+        # All replicas boot concurrently; collect readiness afterwards.
+        deadline = time.monotonic() + spawn_timeout_s
+        for replica in self.replicas:
+            self._await_ready(replica, deadline)
+
+        self.lanes = self.replicas[0].info["lanes"]
+        self.backend = self.replicas[0].info["backend"]
+
+        self._receivers = [
+            threading.Thread(target=self._receive_loop, args=(replica,),
+                             name=f"replica-rx-{replica.replica_id}",
+                             daemon=True)
+            for replica in self.replicas
+        ]
+        for thread in self._receivers:
+            thread.start()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="replica-health",
+                                         daemon=True)
+        self._monitor.start()
+
+    def _await_ready(self, replica: ReplicaHandle, deadline: float) -> None:
+        while True:
+            if not replica.conn.poll(max(0.0, deadline - time.monotonic())):
+                self._abort_spawn(
+                    f"replica {replica.replica_id} did not come up")
+            message = replica.conn.recv()
+            if message[0] == "ready":
+                replica.info = message[2]
+                replica.last_pong = time.monotonic()
+                return
+            if message[0] == "spawn-error":
+                self._abort_spawn(
+                    f"replica {replica.replica_id} failed to spawn: "
+                    f"{message[2]}")
+
+    def _abort_spawn(self, reason: str) -> None:
+        for replica in self.replicas:
+            if replica.process.is_alive():
+                replica.process.terminate()
+        raise ReplicaError(reason)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    def alive_ids(self) -> list[int]:
+        return [r.replica_id for r in self.replicas if r.alive]
+
+    def n_inflight(self, replica_id: int) -> int:
+        with self._lock:
+            return len(self._jobs[replica_id])
+
+    def inflight_lanes(self, replica_id: int) -> int:
+        with self._lock:
+            return sum(job.lanes
+                       for job in self._jobs[replica_id].values())
+
+    def busy_ns(self) -> float:
+        """Modeled makespan of the whole set: replicas are independent
+        machines, so it is the busiest replica's modeled time (dead
+        replicas keep their last reported clock)."""
+        return max((r.info.get("busy_ns", 0.0) for r in self.replicas),
+                   default=0.0)
+
+    def stats(self) -> dict:
+        """Per-replica health/telemetry snapshot."""
+        out = {}
+        for r in self.replicas:
+            with self._lock:
+                inflight = len(self._jobs[r.replica_id])
+            out[r.replica_id] = {
+                "alive": r.alive,
+                "pid": r.process.pid,
+                "in_flight": inflight,
+                "jobs_done": r.jobs_done,
+                "pings_sent": r.pings_sent,
+                "pongs_received": r.pongs_received,
+                "busy_ns": r.info.get("busy_ns", 0.0),
+                "kernels_cached": r.info.get("kernels_cached", 0),
+                "paging": r.info.get("paging", {}),
+            }
+        return out
+
+    def set_death_handler(
+            self, handler: "Callable[[int, list[PendingJob]], None]"
+    ) -> None:
+        """Install the failover hook: called with ``(replica_id,
+        in_flight_jobs)`` when a replica dies.  The handler owns those
+        jobs' futures (typically re-submitting them to survivors);
+        without a handler they fail with :class:`ReplicaError`."""
+        self._death_handler = handler
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, replica_id: int, desc: WorkDescriptor,
+               vectors: Sequence[np.ndarray], lanes: int,
+               future: Future | None = None) -> Future:
+        """Ship one dispatch to a replica; resolves to ``(result
+        vector, replica info)``.  Pass ``future`` to re-arm an existing
+        job's future (the failover path)."""
+        job = PendingJob(job_id=next(self._job_ids), desc=desc,
+                         vectors=[np.asarray(v) for v in vectors],
+                         lanes=lanes, future=future or Future())
+        replica = self.replicas[replica_id]
+        with self._lock:
+            if self._closing:
+                raise ReplicaError("replica set is closed")
+            if not replica.alive:
+                raise ReplicaError(
+                    f"replica {replica_id} is dead")
+            job.shm, metas = _share_vectors(job.vectors)
+            self._jobs[replica_id][job.job_id] = job
+        try:
+            replica.send(("job", job.job_id, desc, job.shm.name, metas))
+        except ReplicaError:
+            # The send itself failed.  If the job is still registered,
+            # this thread owns it: reclaim it and re-raise so the
+            # caller picks another replica.  If it is gone,
+            # ``_mark_dead`` raced us, collected the job and already
+            # routed it (failover re-armed the same future) — re-raising
+            # would make the caller submit the job a *second* time.
+            with self._lock:
+                owned = self._jobs[replica_id].pop(job.job_id, None)
+            self._mark_dead(replica)
+            if owned is None:
+                return job.future
+            self._release_payload(job)
+            raise
+        return job.future
+
+    def _release_payload(self, job: PendingJob) -> None:
+        if job.shm is not None:
+            try:
+                job.shm.close()
+                job.shm.unlink()
+            except FileNotFoundError:
+                pass
+            job.shm = None
+
+    # ------------------------------------------------------------------
+    # receive / health
+    # ------------------------------------------------------------------
+    def _pop_job(self, replica_id: int, job_id: int) -> PendingJob | None:
+        with self._lock:
+            job = self._jobs[replica_id].pop(job_id, None)
+            if not any(self._jobs.values()):
+                self._drained.notify_all()
+        return job
+
+    def _receive_loop(self, replica: ReplicaHandle) -> None:
+        try:
+            self._receive_messages(replica)
+        finally:
+            # Whatever ends the loop — EOF, "stopped", or a bug in the
+            # dispatch body — the replica must be buried, or its
+            # in-flight jobs would hang forever.
+            self._mark_dead(replica)
+
+    def _receive_messages(self, replica: ReplicaHandle) -> None:
+        while True:
+            try:
+                message = replica.conn.recv()
+            except (EOFError, OSError):
+                break
+            tag = message[0]
+            if tag == "result":
+                job_id, shm_name, meta, info = message[1:]
+                info["replica_id"] = replica.replica_id
+                replica.info = info
+                replica.jobs_done += 1
+                job = self._pop_job(replica.replica_id, job_id)
+                if job is None:
+                    # Resolved elsewhere (failover raced) — still
+                    # remove the orphaned result segment.
+                    _drop_segment(shm_name)
+                    continue
+                try:
+                    (values,) = _read_shared(shm_name, [meta], unlink=True)
+                except Exception as error:  # noqa: BLE001
+                    self._release_payload(job)
+                    job.future.set_exception(ReplicaError(
+                        f"result transport failed: {error}"))
+                else:
+                    self._release_payload(job)
+                    job.future.set_result((values, info))
+            elif tag == "job-error":
+                job_id, error, info = message[1:]
+                replica.info = info
+                replica.jobs_done += 1
+                job = self._pop_job(replica.replica_id, job_id)
+                if job is not None:
+                    self._release_payload(job)
+                    job.future.set_exception(error)
+            elif tag == "pong":
+                replica.info = message[2]
+                replica.pongs_received += 1
+                replica.last_pong = time.monotonic()
+            elif tag == "warmed":
+                future = self._controls.pop(
+                    (replica.replica_id, message[1]), None)
+                if future is not None:
+                    future.set_result(message[2])
+            elif tag == "warm-error":
+                future = self._controls.pop(
+                    (replica.replica_id, message[1]), None)
+                if future is not None:
+                    future.set_exception(message[2])
+            elif tag == "stopped":
+                break
+
+    def _monitor_loop(self) -> None:
+        while True:
+            time.sleep(self.heartbeat_s)
+            with self._lock:
+                if self._closing:
+                    return
+            now = time.monotonic()
+            for replica in self.replicas:
+                if not replica.alive:
+                    continue
+                if not replica.process.is_alive():
+                    self._mark_dead(replica)
+                    continue
+                if (self.max_silent_s is not None
+                        and replica.pings_sent > replica.pongs_received
+                        and now - replica.last_pong > self.max_silent_s):
+                    # Hung, not dead: the pipe is open but nothing
+                    # answers.  Put it down so its work can fail over.
+                    replica.process.kill()
+                    self._mark_dead(replica)
+                    continue
+                try:
+                    replica.send(("ping", next(self._tokens)))
+                    replica.pings_sent += 1
+                except ReplicaError:
+                    self._mark_dead(replica)
+
+    def _mark_dead(self, replica: ReplicaHandle) -> None:
+        """Bury one replica: exactly one caller wins, collects its
+        in-flight jobs and routes them to the death handler."""
+        with self._lock:
+            if not replica.alive:
+                return
+            replica.alive = False
+            self.deaths += 1
+            jobs = list(self._jobs[replica.replica_id].values())
+            self._jobs[replica.replica_id].clear()
+            controls = [key for key in self._controls
+                        if key[0] == replica.replica_id]
+            control_futures = [self._controls.pop(key)
+                               for key in controls]
+            closing = self._closing
+            if not any(self._jobs.values()):
+                self._drained.notify_all()
+        try:
+            replica.conn.close()
+        except OSError:
+            pass
+        for job in jobs:
+            self._release_payload(job)
+            job.attempts.append(replica.replica_id)
+        error = ReplicaError(
+            f"replica {replica.replica_id} died "
+            f"(pid {replica.process.pid})")
+        for future in control_futures:
+            future.set_exception(error)
+        if jobs:
+            if self._death_handler is not None and not closing:
+                self._death_handler(replica.replica_id, jobs)
+            else:
+                for job in jobs:
+                    job.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # warmup / drills / lifecycle
+    # ------------------------------------------------------------------
+    def warm(self, manifest: Sequence[tuple],
+             timeout: float | None = 120.0) -> dict:
+        """Broadcast a kernel manifest to every live replica and wait
+        for the acks; returns ``{replica_id: n_kernels}``."""
+        entries = list(manifest)
+        futures: dict[int, Future] = {}
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            token = next(self._tokens)
+            future: Future = Future()
+            with self._lock:
+                self._controls[(replica.replica_id, token)] = future
+            try:
+                replica.send(("warm", token, entries))
+            except ReplicaError as error:
+                with self._lock:
+                    self._controls.pop((replica.replica_id, token), None)
+                future.set_exception(error)
+                self._mark_dead(replica)
+            futures[replica.replica_id] = future
+        results = {}
+        for replica_id, future in futures.items():
+            try:
+                results[replica_id] = future.result(timeout)
+            except ReplicaError:
+                continue  # died mid-warm; failover covers its traffic
+        return results
+
+    def kill(self, replica_id: int) -> None:
+        """Hard-kill one replica (SIGKILL) — the failover drill.  Death
+        is observed through the normal health machinery, so in-flight
+        work fails over exactly as it would for a real crash."""
+        self.replicas[replica_id].process.kill()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no job is in flight anywhere; False on timeout."""
+        with self._lock:
+            return self._drained.wait_for(
+                lambda: not any(self._jobs.values()), timeout)
+
+    def close(self) -> None:
+        """Stop every replica process (idempotent).  In-flight jobs
+        fail with :class:`ReplicaError` rather than strand callers."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        for replica in self.replicas:
+            if not replica.alive:
+                continue
+            try:
+                replica.send(("stop",))
+            except ReplicaError:
+                pass
+        for replica in self.replicas:
+            replica.process.join(timeout=10.0)
+            if replica.process.is_alive():
+                replica.process.kill()
+                replica.process.join(timeout=10.0)
+            self._mark_dead(replica)
+        for thread in self._receivers:
+            if thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

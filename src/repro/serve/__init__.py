@@ -26,6 +26,7 @@ Quick start::
 from repro.errors import AdmissionError
 from repro.serve.batcher import LanePacker, PackGroup, PreparedRequest
 from repro.serve.metrics import ServeMetrics
+from repro.serve.router import ReplicaRouter
 from repro.serve.service import ServeConfig, ServeHandle, SimdramService
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "ServeConfig",
     "ServeHandle",
     "ServeMetrics",
+    "ReplicaRouter",
     "LanePacker",
     "PackGroup",
     "PreparedRequest",

@@ -13,7 +13,17 @@ collects everything an operator watches on a serving box:
   over the lanes it could have carried) and *packing efficiency*
   (fraction of dispatches saved versus one-dispatch-per-request);
 * **spill counts** — paging traffic observed under the serving path
-  (filled in by ``service.stats()`` from the cluster's pagers).
+  (filled in by ``service.stats()`` from the cluster's pagers);
+* **replicas** — when the service dispatches through a
+  :class:`~repro.serve.router.ReplicaRouter`, per-replica dispatch /
+  request / lane counters plus failover events (replica deaths seen
+  and requests re-queued onto survivors).
+
+Latency percentiles are computed over a bounded sliding **reservoir**
+of the most recent :data:`RESERVOIR` completions, so a long-running
+service reports *recent* tail latency; ``latency_ms.max`` is the true
+lifetime maximum (never evicted), and ``latency_ms.window_max`` is the
+maximum within the current reservoir window.
 
 All recording methods are thread-safe; :meth:`snapshot` returns one
 plain ``dict`` suitable for logging or JSON export.
@@ -54,12 +64,26 @@ class _TenantCounters:
                 "lanes": self.lanes}
 
 
+class _ReplicaCounters:
+    __slots__ = ("dispatches", "requests", "lanes")
+
+    def __init__(self) -> None:
+        self.dispatches = 0
+        self.requests = 0
+        self.lanes = 0
+
+    def as_dict(self) -> dict:
+        return {"dispatches": self.dispatches,
+                "requests": self.requests, "lanes": self.lanes}
+
+
 class ServeMetrics:
     """Thread-safe counters and latency reservoir for one service."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._tenants: dict[str, _TenantCounters] = {}
+        self._replicas: dict[int, _ReplicaCounters] = {}
         self.n_submitted = 0
         self.n_completed = 0
         self.n_failed = 0
@@ -74,7 +98,13 @@ class ServeMetrics:
         self._occupancy_sum = 0.0
         #: Packed dispatches that failed and were retried sequentially.
         self.n_sequential_fallbacks = 0
+        #: Replica deaths observed / requests re-queued onto survivors.
+        self.n_replica_deaths = 0
+        self.n_failover_requeues = 0
         self._latencies: deque[float] = deque(maxlen=RESERVOIR)
+        #: True maximum over the service's whole lifetime — samples
+        #: falling out of the bounded reservoir never lower it.
+        self._lifetime_max_s = 0.0
 
     def _tenant(self, tenant: str) -> _TenantCounters:
         counters = self._tenants.get(tenant)
@@ -98,22 +128,40 @@ class ServeMetrics:
             self._tenant(tenant).rejected += 1
 
     def record_dispatch(self, n_requests: int, lanes: int,
-                        capacity: int) -> None:
+                        capacity: int,
+                        replica: int | None = None) -> None:
         with self._lock:
             self.n_dispatches += 1
             self.n_dispatched_requests += n_requests
             self.lanes_dispatched += lanes
             self._occupancy_sum += min(1.0, lanes / max(1, capacity))
+            if replica is not None:
+                counters = self._replicas.get(replica)
+                if counters is None:
+                    counters = self._replicas[replica] = \
+                        _ReplicaCounters()
+                counters.dispatches += 1
+                counters.requests += n_requests
+                counters.lanes += lanes
 
     def record_fallback(self) -> None:
         with self._lock:
             self.n_sequential_fallbacks += 1
+
+    def record_failover(self, replica: int, n_requeued: int) -> None:
+        """One replica died with ``n_requeued`` dispatches in flight
+        (each re-submitted to a survivor by the router)."""
+        with self._lock:
+            self.n_replica_deaths += 1
+            self.n_failover_requeues += n_requeued
 
     def record_completion(self, tenant: str, latency_s: float) -> None:
         with self._lock:
             self.n_completed += 1
             self._tenant(tenant).completed += 1
             self._latencies.append(latency_s)
+            if latency_s > self._lifetime_max_s:
+                self._lifetime_max_s = latency_s
 
     def record_failure(self, tenant: str) -> None:
         with self._lock:
@@ -139,10 +187,14 @@ class ServeMetrics:
                                   - self.n_failed),
                 },
                 "latency_ms": {
+                    # p50/p99/window_max are computed over the bounded
+                    # reservoir (recent window); max is lifetime-true.
                     "p50": percentile(samples, 50) * 1e3,
                     "p99": percentile(samples, 99) * 1e3,
-                    "max": max(samples, default=0.0) * 1e3,
+                    "max": self._lifetime_max_s * 1e3,
+                    "window_max": max(samples, default=0.0) * 1e3,
                     "samples": len(samples),
+                    "window": RESERVOIR,
                 },
                 "packing": {
                     "dispatches": dispatches,
@@ -161,6 +213,13 @@ class ServeMetrics:
                         1.0 - dispatches / packed if packed else 0.0),
                     "sequential_fallbacks": self.n_sequential_fallbacks,
                 },
+                "failover": {
+                    "replica_deaths": self.n_replica_deaths,
+                    "requeued_requests": self.n_failover_requeues,
+                },
+                "replicas": {rid: counters.as_dict()
+                             for rid, counters
+                             in sorted(self._replicas.items())},
                 "tenants": {name: counters.as_dict()
                             for name, counters
                             in sorted(self._tenants.items())},

@@ -1,0 +1,299 @@
+"""``ReplicaRouter``: placement + failover over a :class:`ReplicaSet`.
+
+:class:`~repro.serve.SimdramService` packs many small requests into
+wide dispatches; this router decides **which replica process** runs
+each packed dispatch and keeps every accepted request alive across
+replica crashes:
+
+* **placement** — consistent hashing by *kernel identity* (the pack
+  key's ``kernel_identity`` half): the same kernel lands on the same
+  replica, so each replica's µProgram/executor caches stay hot for its
+  share of the key space instead of every replica cold-starting every
+  kernel.  The hash ring carries virtual nodes per replica and is
+  rebuilt from the live set, so a death only remaps the dead replica's
+  arc;
+* **least-loaded fallback** — a skewed workload (one hot kernel) would
+  pin all traffic to one replica; when the hash-preferred replica has
+  more than ``fallback_depth`` in-flight dispatches above the least
+  loaded live replica, the dispatch overflows to the least loaded one;
+* **warmup** — the serve manifest passed at construction warms every
+  replica's kernel cache at spawn (`ReplicaSet` replays it inside each
+  child before it reports ready), and :meth:`warm` broadcasts later
+  manifests to the live set;
+* **failover** — the replica set's death handler hands the router the
+  dead replica's in-flight jobs (descriptor + payload + the caller's
+  still-pending ``Future``); the router re-submits each to a survivor
+  reusing the *same* future, so the ``ServeHandle`` a user holds
+  resolves normally with no visible difference beyond latency.  Only
+  when no replica survives does the handle fail, with
+  :class:`~repro.errors.ReplicaError`.
+
+The router implements the service's asynchronous dispatch-target
+protocol (``submit_pack`` + completion callback + ``barrier``), so
+``SimdramService(ReplicaRouter(4))`` is a drop-in scale-out of
+``SimdramService(cluster)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from bisect import bisect_right
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ReplicaError
+from repro.runtime.replica import PendingJob, ReplicaSet, WorkDescriptor
+
+#: Virtual nodes per replica on the hash ring.  Enough that each
+#: replica's share of the key space stays within a few percent of
+#: uniform; cheap to rebuild (rings are cached per live set).
+VNODES = 64
+
+
+def _stable_hash(value) -> int:
+    """Position a key on the ring — stable across processes and runs
+    (``repr`` of the pack-key tuple: strings, ints, engine names)."""
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ReplicaRouter:
+    """Consistent-hash placement with least-loaded fallback and
+    in-flight failover (see module docstring)."""
+
+    def __init__(self, replicas: "ReplicaSet | int", *,
+                 n_modules: int = 1, config=None,
+                 manifest: Sequence[tuple] | None = None,
+                 seed: int | None = 1,
+                 fallback_depth: int = 1,
+                 vnodes: int = VNODES, **replica_kwargs) -> None:
+        if isinstance(replicas, int):
+            replicas = ReplicaSet(replicas, n_modules=n_modules,
+                                  config=config, manifest=manifest,
+                                  seed=seed, **replica_kwargs)
+            self._owns_replicas = True
+        else:
+            self._owns_replicas = False
+        self.replicas = replicas
+        self.fallback_depth = fallback_depth
+        self.vnodes = vnodes
+        self._rings: dict[tuple[int, ...], tuple[list[int], list[int]]] = {}
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._outstanding = 0
+        #: Packed dispatches re-homed by the fallback policy.
+        self.n_rebalanced = 0
+        #: In-flight jobs re-submitted to a survivor after a death.
+        self.n_requeued = 0
+        #: Jobs that failed because no replica survived.
+        self.n_orphaned = 0
+        self._metrics = None
+        replicas.set_death_handler(self._on_death)
+
+    # ------------------------------------------------------------------
+    # dispatch-target protocol (what SimdramService talks to)
+    # ------------------------------------------------------------------
+    is_cluster = True
+    is_async = True
+
+    @property
+    def lanes(self) -> int:
+        """Lane capacity of ONE dispatch: a packed group runs on a
+        single replica, so the packer's flush bound is one replica's
+        lane count — replication multiplies concurrent dispatches, not
+        the width of each."""
+        return self.replicas.lanes
+
+    @property
+    def backend(self) -> str:
+        return self.replicas.backend
+
+    def attach_metrics(self, metrics) -> None:
+        """Let the owning service's :class:`ServeMetrics` see router
+        events (per-replica dispatch counters, failovers)."""
+        self._metrics = metrics
+
+    def submit_pack(self, request, vectors: list[np.ndarray], lanes: int,
+                    on_done: Callable) -> None:
+        """Place one packed dispatch and return immediately.
+
+        ``on_done(values, error, replica_id)`` fires exactly once from
+        a router/replica thread when the dispatch resolves — after any
+        transparent failover.
+        """
+        desc = WorkDescriptor(
+            kind=request.kind, op_name=request.op_name,
+            root=request.root, slot_names=tuple(request.slot_names),
+            width=request.width, engine=request.engine.name)
+        with self._lock:
+            self._outstanding += 1
+
+        def _resolved(future) -> None:
+            try:
+                values, info = future.result()
+            except BaseException as error:  # noqa: BLE001 - relayed
+                self._settle()
+                on_done(None, error, None)
+            else:
+                self._settle()
+                on_done(values, None, info.get("replica_id"))
+
+        try:
+            future = self._submit_with_retry(request.key, desc,
+                                             vectors, lanes)
+        except BaseException as error:  # noqa: BLE001 - fail this pack
+            self._settle()
+            on_done(None, error, None)
+            return
+        future.add_done_callback(_resolved)
+
+    def _settle(self) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._idle.notify_all()
+
+    def barrier(self, timeout: float | None = None) -> bool:
+        """Wait until every submitted pack has called back."""
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: self._outstanding == 0, timeout)
+
+    def warm(self, op_or_root, width: int, engine) -> None:
+        """Broadcast one kernel to every live replica's caches (the
+        service's ``warmup`` target hook)."""
+        name = engine if isinstance(engine, str) else engine.name
+        self.replicas.warm([(op_or_root, width, name)])
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _ring(self, alive: tuple[int, ...]
+              ) -> tuple[list[int], list[int]]:
+        ring = self._rings.get(alive)
+        if ring is None:
+            points = sorted(
+                (_stable_hash(("replica", rid, v)), rid)
+                for rid in alive for v in range(self.vnodes))
+            ring = ([h for h, _ in points], [r for _, r in points])
+            self._rings[alive] = ring
+        return ring
+
+    def place(self, key) -> int:
+        """Choose a live replica for a pack key: the consistent-hash
+        owner, unless it is running ``fallback_depth`` more in-flight
+        dispatches than the least loaded replica (then the least
+        loaded).  Raises :class:`ReplicaError` with no live replica."""
+        alive = tuple(self.replicas.alive_ids())
+        if not alive:
+            raise ReplicaError("no live replica to place on")
+        hashes, owners = self._ring(alive)
+        index = bisect_right(hashes, _stable_hash(key)) % len(owners)
+        preferred = owners[index]
+        loads = {rid: self.replicas.n_inflight(rid) for rid in alive}
+        least = min(loads.values())
+        if loads[preferred] - least > self.fallback_depth:
+            preferred = min(alive, key=lambda rid: (loads[rid], rid))
+            with self._lock:
+                self.n_rebalanced += 1
+        return preferred
+
+    def _submit_with_retry(self, key, desc: WorkDescriptor,
+                           vectors, lanes: int):
+        """Submit, re-placing if the chosen replica dies under us."""
+        while True:
+            replica_id = self.place(key)  # raises when none survive
+            try:
+                return self.replicas.submit(replica_id, desc,
+                                            vectors, lanes)
+            except ReplicaError:
+                continue  # that replica just died; place again
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def _on_death(self, replica_id: int,
+                  jobs: "list[PendingJob]") -> None:
+        """Re-home a dead replica's in-flight jobs onto survivors,
+        reusing each job's original future so callers never notice."""
+        if self._metrics is not None:
+            self._metrics.record_failover(replica_id, len(jobs))
+        for job in jobs:
+            self._requeue(job)
+
+    def _requeue(self, job: "PendingJob") -> None:
+        while True:
+            alive = self.replicas.alive_ids()
+            if not alive:
+                with self._lock:
+                    self.n_orphaned += 1
+                if not job.future.done():
+                    job.future.set_exception(ReplicaError(
+                        f"request lost: every replica died "
+                        f"(tried {job.attempts})"))
+                return
+            # Least-loaded, not hash-preferred: the hash owner just
+            # died, and a requeue's priority is finishing, not cache
+            # affinity.
+            target = min(alive,
+                         key=lambda rid:
+                         (self.replicas.n_inflight(rid), rid))
+            try:
+                self.replicas.submit(target, job.desc, job.vectors,
+                                     job.lanes, future=job.future)
+            except ReplicaError:
+                continue  # that one died too; scan again
+            with self._lock:
+                self.n_requeued += 1
+            return
+
+    # ------------------------------------------------------------------
+    # telemetry / lifecycle
+    # ------------------------------------------------------------------
+    def paging_stats(self):
+        from repro.dram.commands import CommandStats
+        total = CommandStats()
+        for stats in self.replicas.stats().values():
+            paging = stats.get("paging") or {}
+            total.n_spills += paging.get("n_spills", 0)
+            total.n_fills += paging.get("n_fills", 0)
+            total.spill_bits += paging.get("spill_bits", 0)
+            total.fill_bits += paging.get("fill_bits", 0)
+        return total
+
+    def busy_ns(self) -> float:
+        return self.replicas.busy_ns()
+
+    def kernel_cache_size(self) -> int:
+        return max((stats.get("kernels_cached", 0)
+                    for stats in self.replicas.stats().values()),
+                   default=0)
+
+    def replica_stats(self) -> dict:
+        """Per-replica health plus the router's placement counters."""
+        with self._lock:
+            router = {"rebalanced": self.n_rebalanced,
+                      "requeued": self.n_requeued,
+                      "orphaned": self.n_orphaned,
+                      "outstanding": self._outstanding}
+        return {"replicas": self.replicas.stats(),
+                "alive": self.replicas.alive_ids(),
+                "deaths": self.replicas.deaths,
+                "router": router}
+
+    def kill(self, replica_id: int) -> None:
+        """Hard-kill one replica (the failover drill's trigger)."""
+        self.replicas.kill(replica_id)
+
+    def close(self) -> None:
+        self.barrier(timeout=60.0)
+        if self._owns_replicas:
+            self.replicas.close()
+
+    def __enter__(self) -> "ReplicaRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -166,6 +166,7 @@ class _ModuleTarget:
     """Serve on a single :class:`~repro.Simdram` module."""
 
     is_cluster = False
+    is_async = False
 
     def __init__(self, sim) -> None:
         self.sim = sim
@@ -222,6 +223,7 @@ class _ClusterTarget:
     through the runtime's job scheduler, paging included)."""
 
     is_cluster = True
+    is_async = False
 
     def __init__(self, cluster) -> None:
         self.cluster = cluster
@@ -252,20 +254,7 @@ class _ClusterTarget:
 
     def warm(self, op_or_root, width: int,
              engine: ExecutionEngine) -> None:
-        if isinstance(op_or_root, Expr):
-            key, kernel = self.cluster.compile_expr(op_or_root, width)
-            for sim in self.cluster.modules:
-                sim.adopt_kernel(key, kernel)
-                sim.warm_executor(kernel.program, kernel.input_widths,
-                                  kernel.out_width, engine)
-        else:
-            name = str(op_or_root)
-            program = self.cluster.compile(name, width)
-            spec = get_operation(name)
-            for sim in self.cluster.modules:
-                sim.adopt_program(program)
-                sim.warm_executor(program, spec.in_widths(width),
-                                  spec.out_width(width), engine)
+        self.cluster.warm(op_or_root, width, engine)
 
     def paging_stats(self) -> CommandStats:
         return self.cluster.paging_stats()
@@ -280,13 +269,21 @@ class _ClusterTarget:
 def _wrap_target(target):
     from repro.core.framework import Simdram
     from repro.runtime.cluster import SimdramCluster
+    from repro.runtime.replica import ReplicaSet
+    from repro.serve.router import ReplicaRouter
     if isinstance(target, Simdram):
         return _ModuleTarget(target)
     if isinstance(target, SimdramCluster):
         return _ClusterTarget(target)
+    if isinstance(target, ReplicaRouter):
+        # The router implements the dispatch-target protocol itself
+        # (asynchronously: submit_pack + callback + barrier).
+        return target
+    if isinstance(target, ReplicaSet):
+        return ReplicaRouter(target)
     raise OperationError(
-        f"a service wraps a Simdram or SimdramCluster, "
-        f"got {type(target).__name__}")
+        f"a service wraps a Simdram, SimdramCluster, ReplicaSet or "
+        f"ReplicaRouter, got {type(target).__name__}")
 
 
 # ---------------------------------------------------------------------------
@@ -307,6 +304,9 @@ class SimdramService:
                          if self.config.max_lanes is not None
                          else self._target.lanes)
         self.metrics = ServeMetrics()
+        attach = getattr(self._target, "attach_metrics", None)
+        if attach is not None:
+            attach(self.metrics)
         self._packer = LanePacker(self.capacity, self.config.max_wait_s)
 
         self._cond = threading.Condition()
@@ -440,7 +440,12 @@ class SimdramService:
                         f"queue full ({self.config.max_queue} "
                         f"requests waiting); timed out after "
                         f"{timeout}s")
-                self._cond.wait(remaining)
+                # Clamp: a remaining that goes non-positive between
+                # the check above and here must become a zero-timeout
+                # poll — a negative timeout means *wait forever* to
+                # the underlying lock acquire.
+                self._cond.wait(None if remaining is None
+                                else max(0.0, remaining))
             queue = self._queues.get(tenant)
             if queue is None:
                 queue = self._queues[tenant] = deque()
@@ -590,6 +595,9 @@ class SimdramService:
         }
         snap["modeled_busy_ns"] = self._target.busy_ns()
         snap["kernels_cached"] = self._target.kernel_cache_size()
+        replica_stats = getattr(self._target, "replica_stats", None)
+        if replica_stats is not None:
+            snap["replica_tier"] = replica_stats()
         return snap
 
     # ------------------------------------------------------------------
@@ -672,8 +680,11 @@ class SimdramService:
                     if self._closing:
                         stop = True
                         break
+                    # max(0, ·): a deadline that just passed must poll,
+                    # not wait forever (negative = infinite underneath).
                     self._cond.wait(
-                        None if deadline is None else deadline - now)
+                        None if deadline is None
+                        else max(0.0, deadline - now))
 
             if raw is not None:
                 self._current = raw
@@ -684,6 +695,11 @@ class SimdramService:
             if stop:
                 for group in self._packer.drain():
                     self._dispatch(group)
+                if self._target.is_async:
+                    # Replica dispatches resolve on router threads;
+                    # close() promises every accepted request resolves
+                    # before the worker is joined.
+                    self._target.barrier()
                 return
             self._flush_due(everything=self._flush_ready())
 
@@ -759,6 +775,9 @@ class SimdramService:
         unresolved: a caller blocked on :meth:`ServeHandle.result`
         would never wake.
         """
+        if self._target.is_async:
+            self._dispatch_async(group)
+            return
         requests = group.requests
         try:
             packed, slices = group.pack()
@@ -793,6 +812,62 @@ class SimdramService:
                 self.metrics.record_dispatch(1, request.n_elements,
                                              self.capacity)
                 self._finish_request(request, out)
+
+    # ------------------------------------------------------------------
+    # asynchronous dispatch (replica-router targets)
+    # ------------------------------------------------------------------
+    def _dispatch_async(self, group: PackGroup) -> None:
+        """Hand one packed group to the async target and return; the
+        target's completion callback — fired from a router/replica
+        thread, possibly after a transparent failover — scatters the
+        slices.  Handle-resolution helpers are already thread-safe."""
+        requests = group.requests
+        try:
+            packed, slices = group.pack()
+        except Exception as error:  # noqa: BLE001 - fails the group only
+            for request in requests:
+                self._fail_request(request.handle, request.tenant,
+                                   error)
+            return
+
+        def on_done(out, error, replica_id) -> None:
+            if error is not None:
+                if (isinstance(error, Exception)
+                        and self.config.fallback_sequential
+                        and len(requests) > 1):
+                    self.metrics.record_fallback()
+                    for request in requests:
+                        self._submit_single_async(request)
+                else:
+                    for request in requests:
+                        self._fail_request(request.handle,
+                                           request.tenant, error)
+                return
+            self.metrics.record_dispatch(
+                len(requests), group.total_lanes, self.capacity,
+                replica=replica_id)
+            for request, (lo, hi) in zip(requests, slices):
+                self._finish_request(request, out[lo:hi].copy())
+
+        self._target.submit_pack(requests[0], packed,
+                                 group.total_lanes, on_done)
+
+    def _submit_single_async(self, request: PreparedRequest) -> None:
+        """Sequential-fallback unit: one request, alone, so a poisoned
+        request fails its own handle and the rest still complete."""
+
+        def on_done(out, error, replica_id) -> None:
+            if error is not None:
+                self._fail_request(request.handle, request.tenant,
+                                   error)
+                return
+            self.metrics.record_dispatch(
+                1, request.n_elements, self.capacity,
+                replica=replica_id)
+            self._finish_request(request, out)
+
+        self._target.submit_pack(request, request.vectors,
+                                 request.n_elements, on_done)
 
     def _finish_request(self, request: PreparedRequest,
                         values: np.ndarray) -> None:

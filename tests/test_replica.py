@@ -1,0 +1,399 @@
+"""Multi-process replica tier: transport, placement, failover.
+
+Process spawns are the expensive part, so the live tests share
+module-scoped replica sets; the router's placement policy is unit
+tested against a fake replica set (no processes at all).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.core import expr
+from repro.core.framework import SimdramConfig
+from repro.dram.geometry import DramGeometry
+from repro.errors import ReplicaError
+from repro.runtime.replica import PendingJob, ReplicaSet, WorkDescriptor
+from repro.serve import ServeConfig, SimdramService
+from repro.serve.router import ReplicaRouter, _stable_hash
+
+
+def small_config() -> SimdramConfig:
+    return SimdramConfig(geometry=DramGeometry.sim_small(
+        cols=32, data_rows=512, banks=2))
+
+
+def add_desc(width: int = 8) -> WorkDescriptor:
+    return WorkDescriptor(kind="op", op_name="add", root=None,
+                          slot_names=(), width=width, engine="auto")
+
+
+@pytest.fixture(scope="module")
+def replica_set():
+    with ReplicaSet(2, n_modules=1, config=small_config(),
+                    manifest=[("add", 8)]) as replicas:
+        yield replicas
+
+
+# ---------------------------------------------------------------------------
+# transport
+# ---------------------------------------------------------------------------
+class TestReplicaSetTransport:
+    def test_op_dispatch_bit_exact(self, replica_set):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 200, 48)
+        b = rng.integers(0, 55, 48)
+        values, info = replica_set.submit(
+            0, add_desc(), [a, b], lanes=48).result(60)
+        assert np.array_equal(values, (a + b) % 256)
+        assert info["replica_id"] == 0
+        assert info["busy_ns"] > 0
+
+    def test_expr_dispatch_bit_exact(self, replica_set):
+        """A whole Expr DAG pickles across and computes correctly."""
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 100, 32)
+        y = rng.integers(0, 100, 32)
+        root = expr.relu(expr.sub(expr.inp("x"), expr.inp("y")))
+        desc = WorkDescriptor(kind="expr", op_name=None, root=root,
+                              slot_names=("x", "y"), width=8,
+                              engine="auto")
+        values, _ = replica_set.submit(
+            1, desc, [x, y], lanes=32).result(60)
+        assert np.array_equal(values,
+                              np.maximum(x.astype(np.int64) - y, 0))
+
+    def test_manifest_warms_kernel_cache_at_spawn(self, replica_set):
+        for stats in replica_set.stats().values():
+            if not stats["alive"]:
+                continue
+            # ("add", 8) from the manifest is already compiled.
+            assert stats["kernels_cached"] >= 1
+
+    def test_warm_broadcast(self, replica_set):
+        acks = replica_set.warm([("min", 8), ("max", 8)])
+        assert all(n == 2 for n in acks.values())
+        assert set(acks) == set(replica_set.alive_ids())
+
+    def test_per_job_error_does_not_kill_replica(self, replica_set):
+        bad = WorkDescriptor(kind="op", op_name="no-such-op",
+                             root=None, slot_names=(), width=8,
+                             engine="auto")
+        future = replica_set.submit(0, bad, [np.array([1])], lanes=1)
+        with pytest.raises(Exception, match="no-such-op"):
+            future.result(60)
+        assert 0 in replica_set.alive_ids()
+        # The replica still serves after the failed job.
+        values, _ = replica_set.submit(
+            0, add_desc(), [np.array([2]), np.array([3])],
+            lanes=1).result(60)
+        assert np.array_equal(values, [5])
+
+    def test_heartbeats_flow(self, replica_set):
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            stats = replica_set.stats()
+            if all(s["pongs_received"] > 0 for s in stats.values()
+                   if s["alive"]):
+                return
+            time.sleep(0.05)
+        pytest.fail("no heartbeat pongs observed")
+
+
+class TestReplicaDeath:
+    def test_kill_fails_inflight_without_handler(self):
+        with ReplicaSet(1, config=small_config()) as replicas:
+            a = np.arange(2000) % 256
+            futures = [replicas.submit(0, add_desc(), [a, a], lanes=1)
+                       for _ in range(4)]
+            replicas.kill(0)
+            for future in futures:
+                with pytest.raises(ReplicaError):
+                    future.result(60)
+            assert replicas.alive_ids() == []
+            assert replicas.deaths == 1
+
+    def test_death_handler_receives_inflight_jobs(self):
+        collected: list = []
+        event = threading.Event()
+        with ReplicaSet(1, config=small_config()) as replicas:
+            def handler(replica_id, jobs):
+                collected.append((replica_id, jobs))
+                for job in jobs:
+                    job.future.set_exception(
+                        ReplicaError("handled"))
+                event.set()
+
+            replicas.set_death_handler(handler)
+            a = np.arange(3000) % 256
+            future = replicas.submit(0, add_desc(), [a, a], lanes=1)
+            replicas.kill(0)
+            assert event.wait(60)
+            (replica_id, jobs), = collected
+            assert replica_id == 0
+            job, = jobs
+            # The handler gets everything needed to re-submit: the
+            # descriptor, the payload, and the caller's future.
+            assert job.desc.op_name == "add"
+            assert np.array_equal(job.vectors[0], a)
+            assert job.future is future
+            assert job.attempts == [0]
+
+    def test_submit_to_dead_replica_raises(self):
+        with ReplicaSet(1, config=small_config()) as replicas:
+            replicas.kill(0)
+            deadline = time.monotonic() + 30
+            while replicas.alive_ids() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            with pytest.raises(ReplicaError):
+                replicas.submit(0, add_desc(),
+                                [np.array([1]), np.array([2])], lanes=1)
+
+    def test_send_racing_mark_dead_does_not_double_submit(self):
+        """Regression: when the monitor buries a replica *between*
+        ``submit`` registering a job and the pipe send failing, the
+        death handler has already re-homed that job (same future).
+        ``submit`` must then hand back that future instead of raising —
+        a raise would make the router place the job a second time,
+        running it twice against one future."""
+        requeued: list = []
+        with ReplicaSet(2, config=small_config()) as replicas:
+            replicas.set_death_handler(
+                lambda rid, jobs: requeued.extend(jobs))
+            victim = replicas.replicas[0]
+
+            def racing_send(message, _victim=victim):
+                # The pipe "breaks" because the monitor just buried
+                # the replica: mark it dead (collecting + re-homing
+                # the freshly registered job), then fail the send.
+                replicas._mark_dead(_victim)
+                raise ReplicaError("pipe broke mid-send")
+
+            victim.send = racing_send
+            a = np.arange(64) % 256
+            future = replicas.submit(0, add_desc(), [a, a], lanes=64)
+            job, = requeued
+            assert job.future is future
+            assert job.attempts == [0]
+            # Nothing double-registered: the collected job is gone
+            # from every replica's pending map.
+            assert replicas.n_inflight(0) == 0
+            assert replicas.n_inflight(1) == 0
+            # The victim's process is healthy (only its handle was
+            # sabotaged); reap it so close() doesn't wait out a join.
+            replicas.kill(0)
+
+
+# ---------------------------------------------------------------------------
+# router placement (no processes: fake replica set)
+# ---------------------------------------------------------------------------
+class _FakeReplicas:
+    lanes = 64
+    backend = "simdram"
+    deaths = 0
+
+    def __init__(self, alive, loads) -> None:
+        self._alive = list(alive)
+        self.loads = dict(loads)
+
+    def set_death_handler(self, handler) -> None:
+        self.handler = handler
+
+    def alive_ids(self):
+        return list(self._alive)
+
+    def n_inflight(self, replica_id):
+        return self.loads[replica_id]
+
+    def stats(self):
+        return {}
+
+
+class TestRouterPlacement:
+    KEY_A = (("add", 8, "simdram"), "numpy")
+    KEY_B = (("mul", 16, "simdram"), "numpy")
+
+    def test_placement_is_deterministic(self):
+        router = ReplicaRouter(_FakeReplicas([0, 1, 2, 3],
+                                             {i: 0 for i in range(4)}))
+        first = router.place(self.KEY_A)
+        assert all(router.place(self.KEY_A) == first
+                   for _ in range(10))
+
+    def test_distinct_keys_spread(self):
+        router = ReplicaRouter(_FakeReplicas([0, 1, 2, 3],
+                                             {i: 0 for i in range(4)}))
+        keys = [((f"op{i}", 8, "simdram"), "numpy") for i in range(64)]
+        used = {router.place(key) for key in keys}
+        assert len(used) >= 3  # 64 keys across 4 replicas
+
+    def test_death_only_remaps_dead_arc(self):
+        """Consistent hashing: keys owned by survivors keep their
+        placement when one replica leaves the ring."""
+        full = ReplicaRouter(_FakeReplicas([0, 1, 2, 3],
+                                           {i: 0 for i in range(4)}))
+        keys = [((f"op{i}", 8, "simdram"), "numpy")
+                for i in range(128)]
+        before = {key: full.place(key) for key in keys}
+        dead = 2
+        survivors = ReplicaRouter(_FakeReplicas(
+            [0, 1, 3], {0: 0, 1: 0, 3: 0}))
+        moved = sum(1 for key in keys
+                    if before[key] != dead
+                    and survivors.place(key) != before[key])
+        assert moved == 0
+
+    def test_least_loaded_fallback(self):
+        fake = _FakeReplicas([0, 1], {0: 0, 1: 0})
+        router = ReplicaRouter(fake, fallback_depth=1)
+        preferred = router.place(self.KEY_A)
+        other = 1 - preferred
+        # Within fallback_depth: stay on the hash owner.
+        fake.loads = {preferred: 1, other: 0}
+        assert router.place(self.KEY_A) == preferred
+        # Beyond it: overflow to the least loaded replica.
+        fake.loads = {preferred: 5, other: 0}
+        assert router.place(self.KEY_A) == other
+        assert router.n_rebalanced == 1
+
+    def test_no_live_replica_raises(self):
+        router = ReplicaRouter(_FakeReplicas([], {}))
+        with pytest.raises(ReplicaError, match="no live replica"):
+            router.place(self.KEY_A)
+
+    def test_stable_hash_is_stable(self):
+        assert _stable_hash(self.KEY_A) == _stable_hash(
+            (("add", 8, "simdram"), "numpy"))
+        assert _stable_hash(self.KEY_A) != _stable_hash(self.KEY_B)
+
+    def test_requeue_reuses_future_on_survivor(self):
+        """The failover path re-arms the job's original future."""
+        submitted = []
+
+        class _Replicas(_FakeReplicas):
+            def submit(self, rid, desc, vectors, lanes, future=None):
+                submitted.append((rid, desc, future))
+                return future
+
+        fake = _Replicas([1], {1: 0})
+        router = ReplicaRouter(fake)
+        future: Future = Future()
+        job = PendingJob(job_id=1, desc=add_desc(),
+                         vectors=[np.array([1])], lanes=1,
+                         future=future, attempts=[0])
+        fake.handler(0, [job])
+        (rid, desc, handed), = submitted
+        assert rid == 1 and handed is future
+        assert router.n_requeued == 1
+
+    def test_requeue_with_no_survivor_fails_future(self):
+        fake = _FakeReplicas([], {})
+        router = ReplicaRouter(fake)
+        future: Future = Future()
+        job = PendingJob(job_id=1, desc=add_desc(),
+                         vectors=[np.array([1])], lanes=1,
+                         future=future, attempts=[0])
+        fake.handler(0, [job])
+        with pytest.raises(ReplicaError, match="every replica died"):
+            future.result(0)
+        assert router.n_orphaned == 1
+
+
+# ---------------------------------------------------------------------------
+# the replicated service, end to end
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served_router():
+    with ReplicaRouter(2, config=small_config(),
+                       manifest=[("add", 8), ("sub", 8)]) as router:
+        yield router
+
+
+class TestReplicatedService:
+    def test_mixed_traffic_bit_exact(self, served_router):
+        rng = np.random.default_rng(5)
+        with SimdramService(served_router,
+                            ServeConfig(max_wait_s=0.002)) as service:
+            cases = []
+            for i in range(24):
+                a = rng.integers(0, 128, 16)
+                b = rng.integers(0, 128, 16)
+                op = ("add", "sub", "min")[i % 3]
+                handle = service.submit(op, a, b, width=8,
+                                        tenant=f"t{i % 4}")
+                cases.append((op, a, b, handle))
+            for op, a, b, handle in cases:
+                if op == "add":
+                    want = (a + b) % 256
+                elif op == "sub":
+                    want = (a - b) % 256
+                else:
+                    want = np.minimum(a, b)
+                assert np.array_equal(handle.result(120) % 256,
+                                      want % 256), op
+            stats = service.stats()
+            assert stats["requests"]["completed"] == 24
+            assert stats["requests"]["failed"] == 0
+            # Dispatches were attributed to replicas.
+            assert sum(c["dispatches"]
+                       for c in stats["replicas"].values()) \
+                == stats["packing"]["dispatches"]
+            assert stats["replica_tier"]["alive"] == [0, 1]
+
+    def test_poisoned_request_fails_alone(self, served_router):
+        with SimdramService(served_router,
+                            ServeConfig(max_wait_s=0.02)) as service:
+            good_a = service.submit("add", [1, 2], [3, 4], width=8)
+            bad = service.submit("add", [1, 2], [3], width=8)
+            good_b = service.submit("add", [5], [6], width=8)
+            assert np.array_equal(good_a.result(120), [4, 6])
+            assert np.array_equal(good_b.result(120), [11])
+            assert bad.exception(120) is not None
+
+    def test_service_close_resolves_everything(self):
+        with ReplicaRouter(1, config=small_config()) as router:
+            service = SimdramService(router,
+                                     ServeConfig(max_wait_s=30.0))
+            handles = [service.submit("add", [i], [i], width=8)
+                       for i in range(4)]
+            service.close()
+            for i, handle in enumerate(handles):
+                assert handle.done()
+                assert np.array_equal(handle.result(0), [2 * i])
+
+
+class TestKillDrill:
+    def test_inflight_requests_survive_replica_death(self):
+        """The PR's failover drill in miniature: kill a replica with
+        dispatches in flight; every handle still resolves bit-exact."""
+        rng = np.random.default_rng(11)
+        with ReplicaRouter(2, config=small_config(),
+                           manifest=[("add", 8)]) as router, \
+                SimdramService(router,
+                               ServeConfig(max_wait_s=0.001)) as service:
+            cases = []
+            for _ in range(20):
+                a = rng.integers(0, 128, 512)
+                b = rng.integers(0, 128, 512)
+                cases.append((a, b, service.submit("add", a, b,
+                                                   width=8)))
+            # Kill as soon as the victim has work in flight (or
+            # immediately once all dispatches already resolved).
+            victim = 0
+            deadline = time.monotonic() + 30
+            while (time.monotonic() < deadline
+                   and router.replicas.n_inflight(victim) == 0
+                   and not all(h.done() for _, _, h in cases)):
+                time.sleep(0.001)
+            router.kill(victim)
+            for a, b, handle in cases:
+                assert np.array_equal(handle.result(120),
+                                      (a + b) % 256)
+            stats = service.stats()
+            assert stats["requests"]["failed"] == 0
+            assert stats["replica_tier"]["alive"] == [1]

@@ -140,6 +140,51 @@ class TestLifecycle:
                 cluster.run("add", a, b)
 
 
+class TestEvictionPinSafety:
+    def test_reclaim_never_evicts_pinned_shard_under_load(self):
+        """Stress (ISSUE 7): under concurrent ``JobScheduler``
+        submission with heavy memory pressure, ``_reclaim`` must never
+        evict a shard pinned by another in-flight dispatch — evicting
+        a pinned operand mid-execution would corrupt that dispatch's
+        result (or crash it).  Every eviction is checked at the moment
+        it happens, on every module's pager."""
+        config = tiny_config(56)  # room for ~3 x 16-lane 8-bit tensors
+        rng = np.random.default_rng(7)
+        violations: list[str] = []
+
+        with SimdramCluster(2, config=config) as cluster:
+            for pager in cluster.pagers:
+                def checked_evict(shard, _pager=pager,
+                                  _orig=pager.evict):
+                    if shard.pins != 0:
+                        violations.append(
+                            f"evicted shard with {shard.pins} pins")
+                    _orig(shard)
+                # Instance-attribute shadowing: only this pager's
+                # evictions go through the check.
+                pager.evict = checked_evict
+
+            # Working set far beyond capacity + concurrent submission:
+            # the scheduler runs jobs on both modules while new jobs'
+            # operands fault in and force reclaims.
+            hosts = [rng.integers(0, 256, 40) for _ in range(10)]
+            tensors = [cluster.tensor(h, 8) for h in hosts]
+            handles = []
+            for _ in range(4):  # several waves of conflicting reuse
+                for i, tensor in enumerate(tensors):
+                    other = tensors[(i + 3) % len(tensors)]
+                    handles.append(
+                        (i, (i + 3) % len(tensors),
+                         cluster.submit("add", tensor, other)))
+            for i, j, handle in handles:
+                out = handle.result(timeout=120).to_numpy()
+                assert np.array_equal(
+                    out, (hosts[i] + hosts[j]) % 256)
+            assert cluster.paging_stats().n_spills > 0, \
+                "stress produced no evictions; tighten the geometry"
+        assert not violations, violations
+
+
 class TestPressureLimits:
     def test_pinned_working_set_too_large_raises(self):
         """Paging cannot help when one operation's own operands exceed

@@ -453,6 +453,45 @@ class TestAdmission:
         assert np.array_equal(handle.result(timeout=60), [3])
         assert not service._worker.is_alive()
 
+    def test_tiny_timeout_under_concurrent_submission(self):
+        """Regression (ISSUE 7): many submitters racing a small queue
+        with sub-millisecond timeouts must all return promptly — with
+        a result or an AdmissionError.  The admission wait loop clamps
+        a just-expired deadline to a zero-timeout poll; an unclamped
+        negative remaining reaching ``Condition.wait`` means *wait
+        forever* to the lock underneath, hanging the submitter."""
+        sim = Simdram(small_config(), seed=1)
+        per_thread, n_threads = 25, 6
+        outcomes: list = []
+        lock = threading.Lock()
+        with SimdramService(
+                sim, ServeConfig(max_queue=2,
+                                 max_wait_s=0.0005)) as service:
+            def spam():
+                for _ in range(per_thread):
+                    try:
+                        handle = service.submit("add", [1], [2],
+                                                width=8, timeout=1e-4)
+                    except AdmissionError:
+                        with lock:
+                            outcomes.append(None)
+                    else:
+                        with lock:
+                            outcomes.append(handle)
+
+            threads = [threading.Thread(target=spam)
+                       for _ in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(t.is_alive() for t in threads), \
+                "a submitter hung in the admission wait loop"
+        assert len(outcomes) == per_thread * n_threads
+        for handle in outcomes:
+            if handle is not None:
+                assert np.array_equal(handle.result(60), [3])
+
 
 # ---------------------------------------------------------------------------
 # weighted fair scheduling
@@ -575,6 +614,38 @@ class TestWarmupAndMetrics:
         snap = metrics.snapshot()
         assert snap["requests"]["submitted"] == 800
         assert snap["requests"]["completed"] == 800
+
+    def test_latency_max_survives_reservoir_eviction(self):
+        """Regression (ISSUE 7): ``latency_ms.max`` is the *lifetime*
+        maximum.  A slow early request must still be reported after
+        enough fast completions push it out of the bounded percentile
+        reservoir; the windowed figure is ``window_max``."""
+        from repro.serve.metrics import RESERVOIR
+        metrics = ServeMetrics()
+        metrics.record_completion("t", 2.5)  # the lifetime-worst
+        for _ in range(RESERVOIR + 10):      # evict it from the window
+            metrics.record_completion("t", 0.001)
+        latency = metrics.snapshot()["latency_ms"]
+        assert latency["max"] == pytest.approx(2500.0)
+        assert latency["window_max"] == pytest.approx(1.0)
+        assert latency["samples"] == RESERVOIR
+        assert latency["window"] == RESERVOIR
+
+    def test_per_replica_dispatch_counters(self):
+        metrics = ServeMetrics()
+        metrics.record_dispatch(3, 24, 32, replica=0)
+        metrics.record_dispatch(1, 8, 32, replica=0)
+        metrics.record_dispatch(2, 16, 32, replica=1)
+        metrics.record_dispatch(5, 40, 32)  # no replica: totals only
+        metrics.record_failover(0, 2)
+        snap = metrics.snapshot()
+        assert snap["replicas"][0] == {
+            "dispatches": 2, "requests": 4, "lanes": 32}
+        assert snap["replicas"][1] == {
+            "dispatches": 1, "requests": 2, "lanes": 16}
+        assert snap["packing"]["dispatches"] == 4
+        assert snap["failover"] == {"replica_deaths": 1,
+                                    "requeued_requests": 2}
 
 
 # ---------------------------------------------------------------------------

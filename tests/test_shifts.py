@@ -60,8 +60,9 @@ class TestShiftRight:
 
 class TestSignedness:
     """Result signedness of in-DRAM copy/shift is explicit: copy and
-    left shift preserve the source's interpretation, logical right
-    shift is unsigned unless overridden."""
+    left shift preserve the source's interpretation; right shift
+    matches the operand's encoding — logical on unsigned, arithmetic
+    (sign-plane fill) on signed — unless overridden."""
 
     def test_copy_preserves_signedness(self, sim):
         array = sim.array([-3, 5, -128, 127], 8, signed=True)
@@ -88,16 +89,63 @@ class TestSignedness:
         assert not shifted.signed
         assert np.array_equal(shifted.to_numpy(), [144])  # (400 % 256)
 
-    def test_shift_right_is_unsigned_by_default(self, sim):
-        """Logical right shift discards the sign bit: the result of
-        shifting -2 (0b11111110) right by one is 127, not -1."""
-        array = sim.array([-2, -128], 8, signed=True)
+    def test_shift_right_signed_source_is_arithmetic(self, sim):
+        """A signed source shifts arithmetically by default: -2
+        (0b11111110) >> 1 is -1, with the sign preserved — numpy's
+        ``>>`` semantics, not a silent logical shift."""
+        array = sim.array([-2, -128, 6], 8, signed=True)
+        shifted = sim.shift_right(array, 1)
+        assert shifted.signed
+        assert np.array_equal(shifted.to_numpy(), [-1, -64, 3])
+
+    def test_shift_right_unsigned_source_is_logical(self, sim):
+        array = sim.array([254, 128], 8)
         shifted = sim.shift_right(array, 1)
         assert not shifted.signed
         assert np.array_equal(shifted.to_numpy(), [127, 64])
 
-    def test_shift_right_signed_reinterpretation_is_explicit(self, sim):
-        array = sim.array([-2], 8, signed=True)
-        shifted = sim.shift_right(array, 0, signed=True)
+    def test_shift_right_logical_override_on_signed(self, sim):
+        """``signed=False`` forces the old logical behaviour: the sign
+        bit is discarded and the result reads as unsigned."""
+        array = sim.array([-2, -128], 8, signed=True)
+        shifted = sim.shift_right(array, 1, signed=False)
+        assert not shifted.signed
+        assert np.array_equal(shifted.to_numpy(), [127, 64])
+
+    def test_shift_right_arithmetic_override_on_unsigned(self, sim):
+        """``signed=True`` reinterprets unsigned bits as two's
+        complement and shifts arithmetically."""
+        array = sim.array([254], 8)  # bits of -2
+        shifted = sim.shift_right(array, 1, signed=True)
         assert shifted.signed
-        assert np.array_equal(shifted.to_numpy(), [-2])
+        assert np.array_equal(shifted.to_numpy(), [-1])
+
+    def test_shift_right_beyond_width_saturates_to_sign(self, sim):
+        """Shifting a signed value past its width leaves all-sign
+        planes: -1 for negatives, 0 for non-negatives."""
+        array = sim.array([-2, -128, 6], 8, signed=True)
+        shifted = sim.shift_right(array, 8)
+        assert np.array_equal(shifted.to_numpy(), [-1, -1, 0])
+
+
+class TestShiftRightDifferential:
+    """Differential check vs numpy ``>>`` across widths and
+    signedness (the ISSUE-7 shift_right bugfix gate)."""
+
+    @pytest.mark.parametrize("width", (4, 8, 16))
+    @pytest.mark.parametrize("signed", (False, True))
+    def test_matches_numpy_shift(self, sim, width, signed):
+        rng = np.random.default_rng(width * 2 + signed)
+        lo, hi = ((-(1 << (width - 1)), 1 << (width - 1)) if signed
+                  else (0, 1 << width))
+        values = rng.integers(lo, hi, size=48, dtype=np.int64)
+        # Always include the boundary values where sign-fill matters.
+        values[:4] = (lo, hi - 1, -1 if signed else 0, 1)
+        array = sim.array(values, width, signed=signed)
+        for amount in (0, 1, width // 2, width - 1):
+            shifted = sim.shift_right(array, amount)
+            assert shifted.signed == signed
+            assert np.array_equal(shifted.to_numpy(),
+                                  values >> amount), (
+                f"width={width} signed={signed} amount={amount}")
+            shifted.free()
