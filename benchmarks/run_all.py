@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run every CI benchmark gate and publish one unified report.
 
-The single entry point the CI benchmark job calls.  Executes all seven
+The single entry point the CI benchmark job calls.  Executes all eight
 regression gates —
 
 * ``vectorized`` — batched execution engine >= 5x the per-bank
@@ -23,6 +23,9 @@ regression gates —
 * ``scale_out`` — 4 replica processes >= 2.5x 1-replica modeled
   serving throughput, plus the kill-one-replica failover drill with
   every in-flight request bit-exact (``bench_scale_out``);
+* ``obs`` — tracing instrumentation costs <= 2% per served request
+  when disabled (no-op fast path) and <= 10% when recording
+  (``bench_obs``);
 
 — merges their sections into one schema-versioned ``bench_ci.json``
 (see :mod:`gate_utils` for the layout) and exits nonzero listing
@@ -46,6 +49,7 @@ import bench_cluster
 import bench_compiled
 import bench_fusion
 import bench_lazy
+import bench_obs
 import bench_scale_out
 import bench_serve
 from gate_utils import merge_gate
@@ -60,6 +64,7 @@ GATES = (
     ("lazy", bench_lazy),
     ("serve", bench_serve),
     ("scale_out", bench_scale_out),
+    ("obs", bench_obs),
 )
 
 

@@ -32,7 +32,10 @@ Package map (see DESIGN.md for the full inventory):
   scheduler;
 * :mod:`repro.serve` — the multi-tenant serving layer: lane-packing
   request batcher, admission control, weighted fair scheduling and
-  serving telemetry.
+  serving telemetry;
+* :mod:`repro.obs` — observability: the monotonic clock shim,
+  request span tracing with Chrome-trace (Perfetto) export, and the
+  unified metrics registry with Prometheus text exposition.
 """
 
 from repro.core.framework import Simdram, SimdramArray, SimdramConfig

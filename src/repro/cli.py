@@ -10,6 +10,8 @@ Examples::
     python -m repro cluster --modules 4 --op add --n 4096
     python -m repro serve-demo --requests 96   # multi-tenant serving demo
     python -m repro serve-cluster --replicas 4 --kill-one
+    python -m repro serve-cluster --trace-out trace.json   # Perfetto
+    python -m repro stats                      # Prometheus exposition
 """
 
 from __future__ import annotations
@@ -136,6 +138,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok and map_ok else 1
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A tracer for one CLI run: enabled iff ``--trace-out`` was given
+    (a private instance, so runs never share trace buffers)."""
+    from repro.obs.tracing import Tracer
+    path = getattr(args, "trace_out", None)
+    return Tracer(enabled=path is not None), path
+
+
+def _write_trace(tracer, path: str | None) -> list[tuple[str, str]]:
+    """Export the run's traces; returns table rows describing them."""
+    if path is None:
+        return []
+    from repro.obs.export import write_chrome_trace
+    n_traces = write_chrome_trace(path, tracer)
+    return [("trace", f"{n_traces} request trees -> {path}")]
+
+
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     """Load-generator demo of the multi-tenant serving layer: many
     small requests from weighted tenants lane-pack into shared wide
@@ -155,11 +174,12 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     catalog_ops = ("add", "mul", "min")
     tenants = {"free": 1.0, "pro": 4.0, "batch": 2.0}
 
+    tracer, trace_path = _make_tracer(args)
     with SimdramCluster(args.modules, config=config) as cluster, \
             SimdramService(
                 cluster,
                 ServeConfig(max_wait_s=args.max_wait_ms / 1e3),
-                tenants=tenants) as service:
+                tenants=tenants, tracer=tracer) as service:
         warm = service.warmup(
             [(op, width) for op in catalog_ops] + [(brighten, width)])
 
@@ -213,6 +233,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         rows.append((f"tenant {tenant!r}",
                      f"{counters['completed']} requests, "
                      f"{counters['lanes']} lanes"))
+    rows.extend(_write_trace(tracer, trace_path))
     print(format_table(
         ["metric", "value"], rows,
         title=f"{args.requests} requests from {len(tenants)} tenants "
@@ -248,11 +269,13 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         requests.append((op, a, b))
 
     manifest = [(op, width) for op in ops]
+    tracer, trace_path = _make_tracer(args)
     with ReplicaRouter(args.replicas, config=config,
                        manifest=manifest) as router, \
             SimdramService(
                 router,
-                ServeConfig(max_wait_s=args.max_wait_ms / 1e3)) as service:
+                ServeConfig(max_wait_s=args.max_wait_ms / 1e3),
+                tracer=tracer) as service:
         handles = [service.submit(op, a, b, width=width)
                    for op, a, b in requests]
         if args.kill_one and args.replicas > 1:
@@ -286,12 +309,54 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         rows.append((f"replica {rid}",
                      f"{counters['dispatches']} dispatches, "
                      f"{counters['requests']} requests"))
+    rows.extend(_write_trace(tracer, trace_path))
     print(format_table(
         ["metric", "value"], rows,
         title=f"{args.requests} requests over {args.replicas} replica "
               f"processes"
               + (" (one killed mid-flight)" if args.kill_one else "")))
     return 0 if n_ok == args.requests else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a small deterministic serve workload and print the unified
+    metrics: Prometheus text exposition by default, the structured
+    snapshot with ``--json``, and optionally a Chrome trace."""
+    import json
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.runtime import SimdramCluster
+    from repro.serve import ServeConfig, SimdramService
+
+    geometry = DramGeometry.sim_small(
+        cols=args.cols, data_rows=256, banks=2)
+    config = SimdramConfig(geometry=geometry)
+    rng = np.random.default_rng(args.seed)
+    tracer, trace_path = _make_tracer(args)
+    registry = MetricsRegistry()   # private: one run, one namespace
+    with SimdramCluster(2, config=config) as cluster, \
+            SimdramService(cluster, ServeConfig(max_wait_s=0.002),
+                           tenants={"alpha": 2.0, "beta": 1.0},
+                           tracer=tracer, registry=registry) as service:
+        handles = []
+        for i in range(args.requests):
+            op = ("add", "sub", "min")[i % 3]
+            tenant = ("alpha", "beta")[i % 2]
+            n = int(rng.integers(1, 9))
+            a = rng.integers(0, 1 << args.width, n)
+            b = rng.integers(0, 1 << args.width, n)
+            handles.append(service.submit(op, a, b, width=args.width,
+                                          tenant=tenant))
+        for handle in handles:
+            handle.result(120)
+        if args.json:
+            print(json.dumps(registry.snapshot(), indent=2,
+                             sort_keys=True, default=float))
+        else:
+            print(service.prometheus(), end="")
+    for label, detail in _write_trace(tracer, trace_path):
+        print(f"# {label}: {detail}", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,6 +419,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--data-rows", type=int, default=256)
     serve_parser.add_argument("--banks", type=int, default=2)
     serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--trace-out", metavar="PATH",
+                              help="write a Chrome/Perfetto trace of "
+                                   "every request to PATH")
 
     sc_parser = sub.add_parser(
         "serve-cluster",
@@ -372,6 +440,23 @@ def build_parser() -> argparse.ArgumentParser:
     sc_parser.add_argument("--data-rows", type=int, default=256)
     sc_parser.add_argument("--banks", type=int, default=2)
     sc_parser.add_argument("--seed", type=int, default=0)
+    sc_parser.add_argument("--trace-out", metavar="PATH",
+                           help="write a Chrome/Perfetto trace of "
+                                "every request to PATH (tracks per "
+                                "replica process)")
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="run a small serve workload and print unified metrics")
+    stats_parser.add_argument("--requests", type=int, default=24)
+    stats_parser.add_argument("--width", type=int, default=8)
+    stats_parser.add_argument("--cols", type=int, default=32)
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument("--json", action="store_true",
+                              help="print the JSON snapshot instead of "
+                                   "Prometheus text")
+    stats_parser.add_argument("--trace-out", metavar="PATH",
+                              help="also write a Chrome/Perfetto trace")
     return parser
 
 
@@ -383,6 +468,7 @@ _HANDLERS = {
     "cluster": _cmd_cluster,
     "serve-demo": _cmd_serve_demo,
     "serve-cluster": _cmd_serve_cluster,
+    "stats": _cmd_stats,
 }
 
 

@@ -53,6 +53,7 @@ from repro.exec.memory import RowBlock, VerticalAllocator
 from repro.exec.tracker import ObjectTracker
 from repro.exec.transposition import TranspositionUnit
 from repro.isa.instructions import BbopInstruction, bbop, bbop_trsp_init
+from repro.obs.tracing import span as obs_span
 from repro.uprog.program import MicroProgram
 from repro.uprog.scheduler import ScheduleOptions
 from repro.uprog.uops import INPUT_SPACES, Space
@@ -550,9 +551,12 @@ class Simdram:
 
                 key = ProgramKey(program.op_name, program.element_width,
                                  program.backend)
-                self.last_stats = self.control.execute_on_module(
-                    self.control.lookup(key), self.module, layout,
-                    engine=engine)
+                with obs_span("engine.execute", op=program.op_name,
+                              width=program.element_width,
+                              engine=str(getattr(engine, "name", engine))):
+                    self.last_stats = self.control.execute_on_module(
+                        self.control.lookup(key), self.module, layout,
+                        engine=engine)
         except BaseException:
             out.free()
             raise
@@ -671,8 +675,11 @@ class Simdram:
             if temp_block is not None:
                 bases[Space.TEMP] = temp_block.base
             layout = RowLayout(bases)
-            self.last_stats = self.control.execute_on_module(
-                program, self.module, layout, engine=engine)
+            with obs_span("engine.execute", op=program.op_name,
+                          width=program.element_width,
+                          engine=str(getattr(engine, "name", engine))):
+                self.last_stats = self.control.execute_on_module(
+                    program, self.module, layout, engine=engine)
 
             for name, (offset, out_width) in kernel.slices.items():
                 view = RowBlock(out_block.base + offset, out_width)
@@ -787,8 +794,12 @@ class Simdram:
                     n_elements=stop - start,
                     element_width=program.element_width).encode())
                 self.issued.append(instruction)
-                self.last_stats = self.control.execute_on_module(
-                    program, self.module, layout, engine=engine)
+                with obs_span("engine.execute", op=program.op_name,
+                              width=program.element_width,
+                              n_elements=stop - start,
+                              engine=str(getattr(engine, "name", engine))):
+                    self.last_stats = self.control.execute_on_module(
+                        program, self.module, layout, engine=engine)
                 chunks.append(self.transposer.vertical_to_host(
                     self.module, out_block, stop - start, out_width,
                     signed=signed))

@@ -69,6 +69,7 @@ import numpy as np
 
 from repro.dram.subarray import N_B_PLANES
 from repro.errors import EngineError
+from repro.obs.tracing import span as obs_span
 
 if TYPE_CHECKING:
     from repro.exec.plan import ExecutionPlan
@@ -254,16 +255,18 @@ class CompiledEngine:
         return True
 
     def compile(self, plan: "ExecutionPlan") -> Executor:
-        source, _rows, _written = generate_source(plan)
-        namespace = {
-            "_pack_rows": _pack_rows,
-            "_unpack_rows": _unpack_rows,
-        }
-        code = compile(source, f"<plan:{plan.op_name}>", "exec")
-        exec(code, namespace)  # noqa: S102 - our own generated source
-        executor = namespace["_executor"]
-        executor.__source__ = source  # introspection / tests
-        return executor
+        with obs_span("engine.compile", engine=self.name,
+                      op=plan.op_name):
+            source, _rows, _written = generate_source(plan)
+            namespace = {
+                "_pack_rows": _pack_rows,
+                "_unpack_rows": _unpack_rows,
+            }
+            code = compile(source, f"<plan:{plan.op_name}>", "exec")
+            exec(code, namespace)  # noqa: S102 - our own generated source
+            executor = namespace["_executor"]
+            executor.__source__ = source  # introspection / tests
+            return executor
 
     def __repr__(self) -> str:
         return f"<engine {self.name}>"
@@ -305,17 +308,20 @@ class NumbaEngine:
                 f"importable; available engines: "
                 f"{list_engines(available_only=True)}")
         numba = self._numba
-        source, data_rows, written = generate_numba_source(plan)
-        namespace = {"numba": numba, "np": np,
-                     "CommandError": _command_error()}
-        try:
-            code = compile(source, f"<numba-plan:{plan.op_name}>", "exec")
-            exec(code, namespace)  # noqa: S102 - our own generated source
-            kernel = numba.njit(cache=False)(namespace["_kernel"])
-        except Exception as error:  # pragma: no cover - numba-specific
-            raise EngineError(
-                f"numba compilation of plan {plan.op_name!r} failed: "
-                f"{error!r}") from error
+        with obs_span("engine.compile", engine=self.name,
+                      op=plan.op_name):
+            source, data_rows, written = generate_numba_source(plan)
+            namespace = {"numba": numba, "np": np,
+                         "CommandError": _command_error()}
+            try:
+                code = compile(source, f"<numba-plan:{plan.op_name}>",
+                               "exec")
+                exec(code, namespace)  # noqa: S102 - our own source
+                kernel = numba.njit(cache=False)(namespace["_kernel"])
+            except Exception as error:  # pragma: no cover - numba
+                raise EngineError(
+                    f"numba compilation of plan {plan.op_name!r} failed: "
+                    f"{error!r}") from error
         all_rows = tuple(data_rows)
         written_rows = tuple(r for r in all_rows if r in written)
         written_index = tuple(all_rows.index(r) for r in written_rows)

@@ -1,0 +1,36 @@
+"""Observability: spans, unified metrics, and trace/metric exporters.
+
+The subsystem has four small parts:
+
+* :mod:`repro.obs.clock` — the monotonic time source every timestamp
+  in the repo goes through (``time.time()`` is lint-banned in
+  ``src/repro``);
+* :mod:`repro.obs.tracing` — span trees recording each request's path
+  ``serve.admit → serve.pack → router.place → replica.transport →
+  cluster.dispatch → engine.execute → serve.scatter``, with a no-op
+  fast path when tracing is off and dict serialization so replica
+  child processes can ship their subtrees home over the result pipe;
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and exponential-bucket histograms, plus scrape-time
+  collectors that adapt the legacy ``ServeMetrics``/``CommandStats``
+  surfaces;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and,
+  via the registry, Prometheus text exposition.
+"""
+
+from . import clock
+from .export import chrome_trace_dict, chrome_trace_events, \
+    write_chrome_trace
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, Sample,
+                      get_registry)
+from .tracing import (NOOP_SPAN, Span, Tracer, current_span, get_tracer,
+                      span, use_span)
+
+__all__ = [
+    "clock",
+    "Span", "Tracer", "NOOP_SPAN", "span", "current_span", "use_span",
+    "get_tracer",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Sample",
+    "get_registry",
+    "chrome_trace_dict", "chrome_trace_events", "write_chrome_trace",
+]

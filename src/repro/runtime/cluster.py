@@ -39,6 +39,7 @@ from repro.core.operations import get_operation
 from repro.dram.commands import CommandStats
 from repro.errors import OperationError
 from repro.exec.engines import ExecutionEngine, get_engine
+from repro.obs.tracing import span as obs_span
 from repro.runtime.paging import PagingManager
 from repro.runtime.scheduler import JobScheduler, Subtask
 from repro.runtime.tensor import DeviceTensor, TensorShard, plan_shards
@@ -421,7 +422,8 @@ class SimdramCluster:
             sim = self.modules[module_index]
             pager = self.pagers[module_index]
             before = sim.module.total_stats()
-            with pager.pinning(in_shards):
+            with obs_span("cluster.dispatch", module=module_index,
+                          label=f"multi@{width}"), pager.pinning(in_shards):
                 for shard in in_shards:
                     pager.ensure_resident(shard)
                 sim.adopt_multi(key, kernel)
@@ -561,7 +563,8 @@ class SimdramCluster:
         module_index = out_shard.module_index
         pager = self.pagers[module_index]
         before = sim.module.total_stats()
-        with pager.pinning([*in_shards, out_shard]):
+        with obs_span("cluster.dispatch", module=module_index), \
+                pager.pinning([*in_shards, out_shard]):
             for shard in in_shards:
                 pager.ensure_resident(shard)
             result = execute([shard.array for shard in in_shards])
@@ -655,7 +658,9 @@ class SimdramCluster:
             sim = self.modules[module_index]
             sim.adopt_program(program)
             before = sim.module.total_stats()
-            chunk = run_chunk(sim, [v[lo:hi] for v in vectors])
+            with obs_span("cluster.dispatch", module=module_index,
+                          label=label, n_elements=hi - lo):
+                chunk = run_chunk(sim, [v[lo:hi] for v in vectors])
             self._account(module_index, before)
             return chunk
 

@@ -42,7 +42,7 @@ import signal
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Sequence
 
@@ -50,6 +50,8 @@ import numpy as np
 
 from repro.core.expr import Expr
 from repro.errors import OperationError, ReplicaError
+from repro.obs import clock
+from repro.obs.tracing import NOOP_SPAN, Span, current_span, use_span
 
 #: (offset, shape, dtype string) of one vector inside a shared segment.
 SlotMeta = tuple[int, tuple[int, ...], str]
@@ -71,6 +73,10 @@ class WorkDescriptor:
     slot_names: tuple[str, ...]
     width: int
     engine: str
+    #: Trace context crossing the process boundary: when True, the
+    #: replica records a local ``replica.execute`` span tree for this
+    #: job and ships it back (serialized) inside the result payload.
+    traced: bool = False
 
     def label(self) -> str:
         return (self.op_name if self.kind == "op"
@@ -90,6 +96,10 @@ class PendingJob:
     shm: "shared_memory.SharedMemory | None" = None
     #: Replica ids this job has already died on (failover audit trail).
     attempts: list[int] = field(default_factory=list)
+    #: The job's ``replica.transport`` span: opened at submission,
+    #: closed when the result lands (or failed when the replica dies —
+    #: the router's retry span re-parents it then).
+    span: object = NOOP_SPAN
 
 
 # ---------------------------------------------------------------------------
@@ -276,20 +286,37 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
                     conn.send(("warm-error", token, _sendable(error)))
             elif tag == "job":
                 job_id, desc, shm_name, metas = message[1:]
+                # Local recording root for traced jobs: the replica's
+                # side of the request tree.  CLOCK_MONOTONIC is
+                # system-wide on Linux, so its timestamps line up with
+                # the parent's without translation; the finished tree
+                # ships home serialized inside the reply's info dict.
+                job_span = (Span("replica.execute",
+                                 {"replica": replica_id,
+                                  "proc": f"replica-{replica_id}",
+                                  "op": desc.label()})
+                            if getattr(desc, "traced", False)
+                            else NOOP_SPAN)
                 try:
                     vectors = _read_shared(shm_name, metas)
                     from repro.exec.engines import get_engine
                     engine = get_engine(desc.engine)
-                    if desc.kind == "op":
-                        out = cluster.map(desc.op_name, *vectors,
-                                          width=desc.width, engine=engine)
-                    else:
-                        out = cluster.map_expr(
-                            desc.root, dict(zip(desc.slot_names, vectors)),
-                            width=desc.width, engine=engine)
+                    with use_span(job_span):
+                        if desc.kind == "op":
+                            out = cluster.map(desc.op_name, *vectors,
+                                              width=desc.width,
+                                              engine=engine)
+                        else:
+                            out = cluster.map_expr(
+                                desc.root,
+                                dict(zip(desc.slot_names, vectors)),
+                                width=desc.width, engine=engine)
                     out_shm, out_metas = _share_vectors([out])
+                    info = _replica_info(cluster)
+                    if job_span.recording:
+                        info["span"] = job_span.finish().to_dict()
                     conn.send(("result", job_id, out_shm.name,
-                               out_metas[0], _replica_info(cluster)))
+                               out_metas[0], info))
                     # The parent unlinks after copying the result out;
                     # untracking only after the send keeps the local
                     # tracker as the safety net if this replica dies
@@ -297,8 +324,11 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
                     _untrack(out_shm)
                     out_shm.close()
                 except Exception as error:  # noqa: BLE001 - fail the one job
+                    info = _replica_info(cluster)
+                    if job_span.recording:
+                        info["span"] = job_span.finish(error).to_dict()
                     conn.send(("job-error", job_id, _sendable(error),
-                               _replica_info(cluster)))
+                               info))
 
 
 # ---------------------------------------------------------------------------
@@ -316,9 +346,32 @@ class ReplicaHandle:
         self.last_pong = time.monotonic()
         self.pings_sent = 0
         self.pongs_received = 0
+        #: Heartbeat round-trip time: send time per outstanding ping
+        #: token, the last completed RTT, and an exponential moving
+        #: average (alpha 0.25) — the per-replica health gauge.
+        self._ping_sent_at: dict[int, float] = {}
+        self.rtt_last_s: float | None = None
+        self.rtt_avg_s: float | None = None
         #: Dispatches this replica completed (success or per-job error).
         self.jobs_done = 0
         self._send_lock = threading.Lock()
+
+    def note_ping(self, token: int) -> None:
+        """Record one ping's send time (monitor thread)."""
+        self._ping_sent_at[token] = clock.now()
+        # Unanswered tokens from a hung replica must not accumulate.
+        while len(self._ping_sent_at) > 64:
+            self._ping_sent_at.pop(next(iter(self._ping_sent_at)))
+
+    def note_pong(self, token: int) -> None:
+        """Close the loop for one pong (receive thread)."""
+        sent = self._ping_sent_at.pop(token, None)
+        if sent is None:
+            return
+        rtt = clock.now() - sent
+        self.rtt_last_s = rtt
+        self.rtt_avg_s = (rtt if self.rtt_avg_s is None
+                          else 0.75 * self.rtt_avg_s + 0.25 * rtt)
 
     def send(self, message) -> None:
         """Pickle one message down the pipe (thread-safe); raises
@@ -465,6 +518,8 @@ class ReplicaSet:
                 "jobs_done": r.jobs_done,
                 "pings_sent": r.pings_sent,
                 "pongs_received": r.pongs_received,
+                "rtt_last_s": r.rtt_last_s,
+                "rtt_avg_s": r.rtt_avg_s,
                 "busy_ns": r.info.get("busy_ns", 0.0),
                 "kernels_cached": r.info.get("kernels_cached", 0),
                 "paging": r.info.get("paging", {}),
@@ -489,9 +544,18 @@ class ReplicaSet:
         """Ship one dispatch to a replica; resolves to ``(result
         vector, replica info)``.  Pass ``future`` to re-arm an existing
         job's future (the failover path)."""
+        # The ambient span (the router's ``router.place`` or ``retry``)
+        # becomes the transport span's parent; the ``traced`` flag asks
+        # the replica to record its side of the tree and ship it back.
+        parent = current_span()
+        span = parent.child("replica.transport",
+                            replica=replica_id, lanes=lanes)
+        if span.recording:
+            desc = replace(desc, traced=True)
         job = PendingJob(job_id=next(self._job_ids), desc=desc,
                          vectors=[np.asarray(v) for v in vectors],
-                         lanes=lanes, future=future or Future())
+                         lanes=lanes, future=future or Future(),
+                         span=span)
         replica = self.replicas[replica_id]
         with self._lock:
             if self._closing:
@@ -516,6 +580,8 @@ class ReplicaSet:
             if owned is None:
                 return job.future
             self._release_payload(job)
+            job.span.finish(ReplicaError(
+                f"replica {replica_id} is unreachable"))
             raise
         return job.future
 
@@ -551,11 +617,17 @@ class ReplicaSet:
         while True:
             try:
                 message = replica.conn.recv()
-            except (EOFError, OSError):
+            except (EOFError, OSError, ValueError,
+                    TypeError, AttributeError):
+                # TypeError/AttributeError/ValueError: another thread
+                # closed the connection mid-recv (mirrors ``send``).
                 break
             tag = message[0]
             if tag == "result":
                 job_id, shm_name, meta, info = message[1:]
+                # The replica's serialized span tree rides inside the
+                # info dict; pop it so ``replica.info`` stays telemetry.
+                shipped = info.pop("span", None)
                 info["replica_id"] = replica.replica_id
                 replica.info = info
                 replica.jobs_done += 1
@@ -565,24 +637,35 @@ class ReplicaSet:
                     # remove the orphaned result segment.
                     _drop_segment(shm_name)
                     continue
+                if shipped is not None and job.span.recording:
+                    job.span.adopt(Span.from_dict(shipped))
                 try:
                     (values,) = _read_shared(shm_name, [meta], unlink=True)
                 except Exception as error:  # noqa: BLE001
                     self._release_payload(job)
+                    # Transport spans close *before* the future resolves
+                    # so completion callbacks see a finished tree.
+                    job.span.finish(error)
                     job.future.set_exception(ReplicaError(
                         f"result transport failed: {error}"))
                 else:
                     self._release_payload(job)
+                    job.span.finish()
                     job.future.set_result((values, info))
             elif tag == "job-error":
                 job_id, error, info = message[1:]
+                shipped = info.pop("span", None)
                 replica.info = info
                 replica.jobs_done += 1
                 job = self._pop_job(replica.replica_id, job_id)
                 if job is not None:
                     self._release_payload(job)
+                    if shipped is not None and job.span.recording:
+                        job.span.adopt(Span.from_dict(shipped))
+                    job.span.finish(error)
                     job.future.set_exception(error)
             elif tag == "pong":
+                replica.note_pong(message[1])
                 replica.info = message[2]
                 replica.pongs_received += 1
                 replica.last_pong = time.monotonic()
@@ -621,7 +704,9 @@ class ReplicaSet:
                     self._mark_dead(replica)
                     continue
                 try:
-                    replica.send(("ping", next(self._tokens)))
+                    token = next(self._tokens)
+                    replica.note_ping(token)
+                    replica.send(("ping", token))
                     replica.pings_sent += 1
                 except ReplicaError:
                     self._mark_dead(replica)
@@ -647,12 +732,17 @@ class ReplicaSet:
             replica.conn.close()
         except OSError:
             pass
-        for job in jobs:
-            self._release_payload(job)
-            job.attempts.append(replica.replica_id)
         error = ReplicaError(
             f"replica {replica.replica_id} died "
             f"(pid {replica.process.pid})")
+        for job in jobs:
+            self._release_payload(job)
+            job.attempts.append(replica.replica_id)
+            # Close the failed attempt's transport span now; the
+            # router's failover path re-parents it under a ``retry``
+            # span before re-submitting, so the dead attempt stays
+            # visible in the re-homed request's tree.
+            job.span.finish(error)
         for future in control_futures:
             future.set_exception(error)
         if jobs:

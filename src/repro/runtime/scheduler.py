@@ -29,6 +29,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import ExecutionError
+from repro.obs.tracing import current_span, use_span
 
 if TYPE_CHECKING:
     from repro.runtime.tensor import DeviceTensor
@@ -49,6 +50,12 @@ class _Job:
         self.subtasks = list(subtasks)
         self.finalizer = finalizer
         self.future: Future = Future()
+        # The ambient trace span at submission time.  ContextVars do
+        # not cross ThreadPoolExecutor tasks, so each subtask
+        # re-activates this span on its worker thread — keeping
+        # cluster.dispatch/engine.execute spans attached to the
+        # request tree that queued the job.
+        self.ctx_span = current_span()
         self._lock = threading.Lock()
         self._pending_deps = 0
         self._remaining = len(self.subtasks)
@@ -92,7 +99,8 @@ class _Job:
             if self._failed:
                 return
         try:
-            result = thunk()
+            with use_span(self.ctx_span):
+                result = thunk()
         except BaseException as error:  # propagated via the future
             self._fail(error)
             return

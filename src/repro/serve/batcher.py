@@ -39,6 +39,7 @@ from repro.core.fuse import MAX_FUSED_INPUTS, kernel_identity
 from repro.core.operations import get_operation
 from repro.errors import OperationError
 from repro.exec.engines import ExecutionEngine, get_engine
+from repro.obs.tracing import NOOP_SPAN
 
 if TYPE_CHECKING:
     from repro.serve.service import ServeHandle
@@ -71,6 +72,12 @@ class PreparedRequest:
     #: ``name`` is folded into ``key``).
     engine: ExecutionEngine
     submitted_at: float
+    #: The request's trace root (``serve.request``) and its open
+    #: ``serve.pack`` child; the no-op singleton when untraced.  The
+    #: service attaches both after :func:`prepare` — the batcher never
+    #: touches them.
+    span: object = NOOP_SPAN
+    pack_span: object = NOOP_SPAN
 
     def feeds(self) -> dict[str, np.ndarray]:
         """Name -> vector binding for ``"expr"`` requests."""

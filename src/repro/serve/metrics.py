@@ -41,11 +41,19 @@ import numpy as np
 RESERVOIR = 8192
 
 
-def percentile(samples: list[float], q: float) -> float:
-    """The ``q``-th percentile (0..100); 0.0 on an empty sample set."""
+def percentile(samples: list[float], q: float,
+               method: str = "linear") -> float:
+    """The ``q``-th percentile (0..100); 0.0 on an empty sample set.
+
+    ``method`` follows :func:`numpy.percentile`.  The default linear
+    interpolation is the general-purpose estimator; :meth:`ServeMetrics
+    .snapshot` asks for ``"higher"`` (nearest observed rank) so its
+    reported percentiles are always values that actually occurred —
+    see the comment there.
+    """
     if not samples:
         return 0.0
-    return float(np.percentile(samples, q))
+    return float(np.percentile(samples, q, method=method))
 
 
 class _TenantCounters:
@@ -168,6 +176,28 @@ class ServeMetrics:
             self.n_failed += 1
             self._tenant(tenant).failed += 1
 
+    def reset(self) -> None:
+        """Zero every counter, tenant/replica table and the latency
+        reservoir (including the lifetime max) — so one bench harness
+        can reuse a warm service across measured phases without
+        earlier phases polluting the numbers."""
+        with self._lock:
+            self._tenants.clear()
+            self._replicas.clear()
+            self.n_submitted = 0
+            self.n_completed = 0
+            self.n_failed = 0
+            self.n_rejected = 0
+            self.n_dispatches = 0
+            self.n_dispatched_requests = 0
+            self.lanes_dispatched = 0
+            self._occupancy_sum = 0.0
+            self.n_sequential_fallbacks = 0
+            self.n_replica_deaths = 0
+            self.n_failover_requeues = 0
+            self._latencies.clear()
+            self._lifetime_max_s = 0.0
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -189,8 +219,16 @@ class ServeMetrics:
                 "latency_ms": {
                     # p50/p99/window_max are computed over the bounded
                     # reservoir (recent window); max is lifetime-true.
-                    "p50": percentile(samples, 50) * 1e3,
-                    "p99": percentile(samples, 99) * 1e3,
+                    # Nearest-rank ("higher"), not linear interpolation:
+                    # with fewer samples than the reservoir holds —
+                    # above all, fewer than 100 — an interpolated p99
+                    # sits strictly *below* window_max even though the
+                    # window's 99th percentile is its largest sample.
+                    # Nearest-rank keeps p99 <= window_max an equality
+                    # whenever the window is small, so the two figures
+                    # never contradict each other.
+                    "p50": percentile(samples, 50, method="higher") * 1e3,
+                    "p99": percentile(samples, 99, method="higher") * 1e3,
                     "max": self._lifetime_max_s * 1e3,
                     "window_max": max(samples, default=0.0) * 1e3,
                     "samples": len(samples),

@@ -44,6 +44,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ReplicaError
+from repro.obs.metrics import Sample
+from repro.obs.tracing import span as obs_span
+from repro.obs.tracing import use_span
 from repro.runtime.replica import PendingJob, ReplicaSet, WorkDescriptor
 
 #: Virtual nodes per replica on the hash ring.  Enough that each
@@ -204,12 +207,25 @@ class ReplicaRouter:
                            vectors, lanes: int):
         """Submit, re-placing if the chosen replica dies under us."""
         while True:
-            replica_id = self.place(key)  # raises when none survive
+            # One placement decision per attempt; the submission's
+            # ``replica.transport`` span nests under it (the transport
+            # is the decision's consequence).
+            place_span = obs_span("router.place")
             try:
-                return self.replicas.submit(replica_id, desc,
-                                            vectors, lanes)
+                replica_id = self.place(key)  # raises when none survive
+            except BaseException as error:
+                place_span.finish(error)
+                raise
+            place_span.set(replica=replica_id)
+            try:
+                with use_span(place_span):
+                    future = self.replicas.submit(replica_id, desc,
+                                                  vectors, lanes)
             except ReplicaError:
+                place_span.finish("replica died during submit")
                 continue  # that replica just died; place again
+            place_span.finish()
+            return future
 
     # ------------------------------------------------------------------
     # failover
@@ -224,11 +240,36 @@ class ReplicaRouter:
             self._requeue(job)
 
     def _requeue(self, job: "PendingJob") -> None:
+        retry_span = self._open_retry(job)
+        try:
+            self._requeue_under(job, retry_span)
+        finally:
+            retry_span.finish()
+
+    @staticmethod
+    def _open_retry(job: "PendingJob"):
+        """A ``retry`` span recording the failover, with the dead
+        attempt's (already-failed) ``replica.transport`` span
+        re-parented under it — so the re-homed request's tree keeps the
+        failure visible exactly where the re-decision happened."""
+        failed = job.span
+        parent = getattr(failed, "parent", None)
+        if not (failed.recording and parent is not None):
+            return failed.child("retry")  # noop when untraced
+        retry = parent.child("retry", from_replica=job.attempts[-1],
+                             attempts=list(job.attempts))
+        if failed in parent.children:
+            parent.children.remove(failed)
+        retry.adopt(failed)
+        return retry
+
+    def _requeue_under(self, job: "PendingJob", retry_span) -> None:
         while True:
             alive = self.replicas.alive_ids()
             if not alive:
                 with self._lock:
                     self.n_orphaned += 1
+                retry_span.fail("every replica died")
                 if not job.future.done():
                     job.future.set_exception(ReplicaError(
                         f"request lost: every replica died "
@@ -241,8 +282,9 @@ class ReplicaRouter:
                          key=lambda rid:
                          (self.replicas.n_inflight(rid), rid))
             try:
-                self.replicas.submit(target, job.desc, job.vectors,
-                                     job.lanes, future=job.future)
+                with use_span(retry_span):
+                    self.replicas.submit(target, job.desc, job.vectors,
+                                         job.lanes, future=job.future)
             except ReplicaError:
                 continue  # that one died too; scan again
             with self._lock:
@@ -283,6 +325,16 @@ class ReplicaRouter:
                 "deaths": self.replicas.deaths,
                 "router": router}
 
+    def prometheus(self) -> str:
+        """Prometheus text exposition of just the replica tier (the
+        service's registry scrapes the same samples when this router is
+        its dispatch target)."""
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: replica_tier_samples(self.replica_stats()))
+        return registry.prometheus_text()
+
     def kill(self, replica_id: int) -> None:
         """Hard-kill one replica (the failover drill's trigger)."""
         self.replicas.kill(replica_id)
@@ -297,3 +349,44 @@ class ReplicaRouter:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def replica_tier_samples(tier: dict) -> "list[Sample]":
+    """Project one :meth:`ReplicaRouter.replica_stats` snapshot into
+    registry samples (the service's scrape-time collector calls this
+    when its dispatch target exposes a replica tier)."""
+    out: list[Sample] = []
+    router = tier.get("router", {})
+    for key, help_text in (
+            ("rebalanced", "packs re-homed by the load fallback"),
+            ("requeued", "in-flight jobs re-homed after a death"),
+            ("orphaned", "jobs lost because no replica survived")):
+        out.append(Sample(f"repro_router_{key}_total",
+                          router.get(key, 0), (), "counter", help_text))
+    out.append(Sample("repro_router_outstanding_packs",
+                      router.get("outstanding", 0), (), "gauge",
+                      "packs placed but not yet called back"))
+    out.append(Sample("repro_replica_deaths_total",
+                      tier.get("deaths", 0), (), "counter",
+                      "replica processes declared dead"))
+    for rid, stats in sorted(tier.get("replicas", {}).items()):
+        labels = (("replica", str(rid)),)
+        out.append(Sample("repro_replica_alive",
+                          1 if stats.get("alive") else 0, labels,
+                          "gauge", "1 while the replica answers"))
+        out.append(Sample("repro_replica_jobs_done_total",
+                          stats.get("jobs_done", 0), labels, "counter",
+                          "dispatches the replica completed"))
+        out.append(Sample("repro_replica_in_flight",
+                          stats.get("in_flight", 0), labels, "gauge",
+                          "dispatches currently on the replica"))
+        rtt = stats.get("rtt_last_s")
+        if rtt is not None:
+            out.append(Sample("repro_replica_rtt_seconds", rtt, labels,
+                              "gauge", "last heartbeat round trip"))
+        rtt_avg = stats.get("rtt_avg_s")
+        if rtt_avg is not None:
+            out.append(Sample("repro_replica_rtt_avg_seconds", rtt_avg,
+                              labels, "gauge",
+                              "smoothed heartbeat round trip"))
+    return out

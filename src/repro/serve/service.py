@@ -65,6 +65,13 @@ from repro.dram.commands import CommandStats
 from repro.errors import AdmissionError, OperationError
 from repro.exec.engines import ExecutionEngine, get_engine
 from repro.lazy.tensor import LazyTensor
+from repro.obs.metrics import MetricsRegistry, Sample, get_registry
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Tracer,
+    get_tracer,
+    use_span,
+)
 from repro.serve.batcher import (
     LanePacker,
     PackGroup,
@@ -109,6 +116,10 @@ class ServeHandle:
         self.request_id = request_id
         self.tenant = tenant
         self.n_elements = n_elements
+        #: The request's ``serve.request`` trace root (the no-op
+        #: singleton when tracing is off/unsampled); finished — and
+        #: thereby recorded — exactly when the handle resolves.
+        self.span = NOOP_SPAN
         self._future: Future = Future()
 
     def result(self, timeout: float | None = None) -> np.ndarray:
@@ -157,6 +168,8 @@ class _RawRequest:
     engine: ExecutionEngine
     submitted_at: float
     lanes: int
+    #: Open ``serve.admit`` span covering queue wait (noop untraced).
+    admit_span: object = NOOP_SPAN
 
 
 # ---------------------------------------------------------------------------
@@ -294,7 +307,9 @@ class SimdramService:
     module docstring)."""
 
     def __init__(self, target, config: ServeConfig | None = None,
-                 tenants: dict[str, float] | None = None) -> None:
+                 tenants: dict[str, float] | None = None,
+                 tracer: "Tracer | None" = None,
+                 registry: "MetricsRegistry | None" = None) -> None:
         self._target = _wrap_target(target)
         self.target = target
         self.config = config or ServeConfig()
@@ -304,6 +319,21 @@ class SimdramService:
                          if self.config.max_lanes is not None
                          else self._target.lanes)
         self.metrics = ServeMetrics()
+        #: Trace collection (process-global tracer unless injected).
+        #: Disabled tracers cost one flag check per request.
+        self.tracer = tracer if tracer is not None else get_tracer()
+        #: Unified metrics: the legacy ``ServeMetrics``/paging/replica
+        #: surfaces are adapted into the registry as a scrape-time
+        #: collector, and request latency additionally feeds a native
+        #: histogram (quantiles without a reservoir).
+        self.registry = (registry if registry is not None
+                         else get_registry())
+        self._collector_name = f"serve:{id(self):x}"
+        self.registry.register_collector(self._metric_samples,
+                                         name=self._collector_name)
+        self._latency_hist = self.registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "submit-to-resolution latency of completed requests")
         attach = getattr(self._target, "attach_metrics", None)
         if attach is not None:
             attach(self.metrics)
@@ -413,10 +443,18 @@ class SimdramService:
                             else engine)
         lanes = self._lane_estimate(op, operands, feeds)
         handle = ServeHandle(next(self._ids), tenant, lanes)
+        # One trace root per request; its serve.admit child stays open
+        # until the worker pops the request, so queue wait is visible.
+        handle.span = self.tracer.trace(
+            "serve.request", tenant=tenant,
+            request_id=handle.request_id, lanes=lanes)
+        admit_span = (handle.span.child("serve.admit")
+                      if handle.span.recording else NOOP_SPAN)
         raw = _RawRequest(handle=handle, op_or_root=op,
                           operands=tuple(operands), feeds=feeds,
                           width=width, tenant=tenant, engine=engine,
-                          submitted_at=time.monotonic(), lanes=lanes)
+                          submitted_at=time.monotonic(), lanes=lanes,
+                          admit_span=admit_span)
 
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
@@ -424,22 +462,23 @@ class SimdramService:
             while True:
                 if self._closing or self._closed:
                     self.metrics.record_reject(tenant)
-                    raise AdmissionError("service is closed")
+                    raise self._reject(handle, admit_span,
+                                       AdmissionError("service is closed"))
                 if len(self._unresolved) < self.config.max_queue:
                     break
                 if not block:
                     self.metrics.record_reject(tenant)
-                    raise AdmissionError(
+                    raise self._reject(handle, admit_span, AdmissionError(
                         f"queue full ({self.config.max_queue} "
-                        f"requests waiting); retry later")
+                        f"requests waiting); retry later"))
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
                     self.metrics.record_reject(tenant)
-                    raise AdmissionError(
+                    raise self._reject(handle, admit_span, AdmissionError(
                         f"queue full ({self.config.max_queue} "
                         f"requests waiting); timed out after "
-                        f"{timeout}s")
+                        f"{timeout}s"))
                 # Clamp: a remaining that goes non-positive between
                 # the check above and here must become a zero-timeout
                 # poll — a negative timeout means *wait forever* to
@@ -466,6 +505,15 @@ class SimdramService:
             self.metrics.record_submit(tenant, lanes)
             self._cond.notify_all()
         return handle
+
+    @staticmethod
+    def _reject(handle: ServeHandle, admit_span,
+                error: AdmissionError) -> AdmissionError:
+        """Close a rejected request's trace and hand back the error
+        (so call sites stay single-line ``raise`` statements)."""
+        admit_span.finish(error)
+        handle.span.finish(error)
+        return error
 
     @staticmethod
     def _lane_estimate(op, operands: Sequence, feeds: dict | None) -> int:
@@ -539,6 +587,10 @@ class SimdramService:
         else:
             with self._cond:
                 self._cond.wait_for(lambda: self._closed)
+        # A closed service stops scraping (idempotent): the collector
+        # holds a reference to self, and stats() on a dead target
+        # would be stale anyway.
+        self.registry.unregister_collector(self._collector_name)
 
     def __enter__(self) -> "SimdramService":
         return self
@@ -599,6 +651,78 @@ class SimdramService:
         if replica_stats is not None:
             snap["replica_tier"] = replica_stats()
         return snap
+
+    def prometheus(self) -> str:
+        """The unified registry's Prometheus text exposition — this
+        service's adapted counters plus every other instrument and
+        collector registered in the same registry."""
+        return self.registry.prometheus_text()
+
+    def _metric_samples(self) -> "list[Sample]":
+        """Scrape-time adapter: project :meth:`stats` into registry
+        samples so the legacy surfaces stay authoritative (no double
+        accounting) while Prometheus sees one namespace."""
+        snap = self.stats()
+        req, lat = snap["requests"], snap["latency_ms"]
+        pack, paging = snap["packing"], snap["paging"]
+        out: list[Sample] = []
+        for state in ("submitted", "completed", "failed", "rejected"):
+            out.append(Sample("repro_serve_requests_total", req[state],
+                              (("state", state),), "counter",
+                              "requests by outcome"))
+        out.append(Sample("repro_serve_requests_in_flight",
+                          req["in_flight"], (), "gauge",
+                          "accepted requests not yet resolved"))
+        for q in ("p50", "p99", "max", "window_max"):
+            out.append(Sample("repro_serve_latency_ms", lat[q],
+                              (("quantile", q),), "gauge",
+                              "reservoir latency percentiles (ms)"))
+        for name, value in (
+                ("dispatches", pack["dispatches"]),
+                ("packed_requests", pack["packed_requests"]),
+                ("lanes", pack["lanes_dispatched"]),
+                ("sequential_fallbacks", pack["sequential_fallbacks"])):
+            out.append(Sample("repro_serve_pack_" + name, value, (),
+                              "counter", "lane-packer dispatch totals"))
+        out.append(Sample("repro_serve_lane_occupancy",
+                          pack["lane_occupancy"], (), "gauge",
+                          "mean lanes carried / flush capacity"))
+        out.append(Sample("repro_serve_packing_efficiency",
+                          pack["packing_efficiency"], (), "gauge",
+                          "dispatches saved vs one per request"))
+        out.append(Sample("repro_serve_queue_depth",
+                          snap["queue"]["queued"], (), "gauge",
+                          "requests waiting in tenant queues"))
+        for name in ("n_spills", "n_fills", "spill_bits", "fill_bits"):
+            out.append(Sample("repro_paging_" + name, paging[name], (),
+                              "counter", "paging traffic under serve"))
+        fo = snap["failover"]
+        out.append(Sample("repro_failover_replica_deaths_total",
+                          fo["replica_deaths"], (), "counter",
+                          "replica deaths the service observed"))
+        out.append(Sample("repro_failover_requeued_total",
+                          fo["requeued_requests"], (), "counter",
+                          "in-flight requests re-homed to survivors"))
+        for tenant, counters in snap["tenants"].items():
+            for state in ("submitted", "completed", "failed",
+                          "rejected"):
+                out.append(Sample(
+                    "repro_serve_tenant_requests_total",
+                    counters[state],
+                    (("state", state), ("tenant", tenant)), "counter",
+                    "per-tenant requests by outcome"))
+        if snap.get("modeled_busy_ns") is not None:
+            out.append(Sample("repro_modeled_busy_ns",
+                              snap["modeled_busy_ns"], (), "gauge",
+                              "modeled DRAM busy time (ns)"))
+        out.append(Sample("repro_kernels_cached",
+                          snap["kernels_cached"], (), "gauge",
+                          "kernels resident in the target's caches"))
+        tier = snap.get("replica_tier")
+        if tier is not None:
+            from repro.serve.router import replica_tier_samples
+            out.extend(replica_tier_samples(tier))
+        return out
 
     # ------------------------------------------------------------------
     # the worker: weighted-fair admit -> prepare -> pack -> dispatch
@@ -727,6 +851,7 @@ class SimdramService:
 
     def _admit(self, raw: _RawRequest) -> None:
         """Prepare one raw request and pack (or directly dispatch) it."""
+        raw.admit_span.finish()  # queue wait ends here
         try:
             request = prepare(
                 raw.handle, raw.op_or_root, raw.operands, raw.feeds,
@@ -735,6 +860,12 @@ class SimdramService:
         except Exception as error:  # noqa: BLE001 - fails its handle only
             self._fail_request(raw.handle, raw.tenant, error)
             return
+        request.span = raw.handle.span
+        if request.span.recording:
+            # Open until the group dispatches: the packer wait.
+            request.pack_span = request.span.child(
+                "serve.pack", kernel=request.key[0][0],
+                engine=request.key[1])
         raw.handle.n_elements = request.n_elements
         if not self.config.pack:
             group = PackGroup(key=request.key,
@@ -779,14 +910,20 @@ class SimdramService:
             self._dispatch_async(group)
             return
         requests = group.requests
+        dispatch_span = self._open_dispatch(group)
         try:
             packed, slices = group.pack()
-            out = self._execute(requests[0], packed)
+            with use_span(dispatch_span):
+                out = self._execute(requests[0], packed)
+            dispatch_span.finish()
             self.metrics.record_dispatch(
                 len(requests), group.total_lanes, self.capacity)
             for request, (lo, hi) in zip(requests, slices):
+                self._graft_and_scatter(request, dispatch_span, lo, hi)
                 self._finish_request(request, out[lo:hi].copy())
         except BaseException as error:  # noqa: BLE001 - see docstring
+            dispatch_span.finish(error)
+            self._graft_failure(requests, dispatch_span)
             if (isinstance(error, Exception)
                     and self.config.fallback_sequential
                     and len(requests) > 1):
@@ -803,15 +940,65 @@ class SimdramService:
     def _dispatch_sequentially(self,
                                requests: list[PreparedRequest]) -> None:
         for request in requests:
+            retry_span = (request.span.child("serve.dispatch",
+                                             fallback=True)
+                          if request.span.recording else NOOP_SPAN)
             try:
-                out = self._execute(request, request.vectors)
+                with use_span(retry_span):
+                    out = self._execute(request, request.vectors)
             except Exception as error:  # noqa: BLE001
+                retry_span.finish(error)
                 self._fail_request(request.handle, request.tenant,
                                    error)
             else:
+                retry_span.finish()
                 self.metrics.record_dispatch(1, request.n_elements,
                                              self.capacity)
+                if request.span.recording:
+                    request.span.child("serve.scatter").finish()
                 self._finish_request(request, out)
+
+    # ------------------------------------------------------------------
+    # trace plumbing around dispatch
+    # ------------------------------------------------------------------
+    def _open_dispatch(self, group: PackGroup):
+        """Close the group's pack spans and open one *detached*
+        ``serve.dispatch`` span shared by every request in the group.
+
+        Detached because the packed execution belongs to N request
+        trees at once; at scatter time a deep copy of the finished
+        dispatch subtree is grafted into each traced request
+        (:meth:`_graft_and_scatter`), so every request still reads as
+        one self-contained tree."""
+        requests = group.requests
+        for request in requests:
+            request.pack_span.finish()
+        if not any(r.span.recording for r in requests):
+            return NOOP_SPAN
+        key = requests[0].key
+        return self.tracer.start_detached(
+            "serve.dispatch", kernel=key[0][0], engine=key[1],
+            n_requests=len(requests), lanes=group.total_lanes)
+
+    def _graft_and_scatter(self, request: PreparedRequest,
+                           dispatch_span, lo: int, hi: int) -> None:
+        if not request.span.recording:
+            return
+        if dispatch_span.recording:
+            request.span.adopt(dispatch_span.copy_tree())
+        request.span.child("serve.scatter", lo=lo, hi=hi).finish()
+
+    def _graft_failure(self, requests: list[PreparedRequest],
+                       dispatch_span) -> None:
+        """Preserve a *failed* shared dispatch in every still-pending
+        traced request, so post-mortems see the failed attempt next to
+        whatever the fallback recorded."""
+        if not dispatch_span.recording:
+            return
+        for request in requests:
+            if (request.span.recording
+                    and not request.handle._future.done()):
+                request.span.adopt(dispatch_span.copy_tree())
 
     # ------------------------------------------------------------------
     # asynchronous dispatch (replica-router targets)
@@ -822,16 +1009,21 @@ class SimdramService:
         thread, possibly after a transparent failover — scatters the
         slices.  Handle-resolution helpers are already thread-safe."""
         requests = group.requests
+        dispatch_span = self._open_dispatch(group)
         try:
             packed, slices = group.pack()
         except Exception as error:  # noqa: BLE001 - fails the group only
+            dispatch_span.finish(error)
+            self._graft_failure(requests, dispatch_span)
             for request in requests:
                 self._fail_request(request.handle, request.tenant,
                                    error)
             return
 
         def on_done(out, error, replica_id) -> None:
+            dispatch_span.finish(error)
             if error is not None:
+                self._graft_failure(requests, dispatch_span)
                 if (isinstance(error, Exception)
                         and self.config.fallback_sequential
                         and len(requests) > 1):
@@ -847,16 +1039,24 @@ class SimdramService:
                 len(requests), group.total_lanes, self.capacity,
                 replica=replica_id)
             for request, (lo, hi) in zip(requests, slices):
+                self._graft_and_scatter(request, dispatch_span, lo, hi)
                 self._finish_request(request, out[lo:hi].copy())
 
-        self._target.submit_pack(requests[0], packed,
-                                 group.total_lanes, on_done)
+        # Ambient during placement/transport: router.place and
+        # replica.transport spans attach under the dispatch span.
+        with use_span(dispatch_span):
+            self._target.submit_pack(requests[0], packed,
+                                     group.total_lanes, on_done)
 
     def _submit_single_async(self, request: PreparedRequest) -> None:
         """Sequential-fallback unit: one request, alone, so a poisoned
         request fails its own handle and the rest still complete."""
+        retry_span = (request.span.child("serve.dispatch",
+                                         fallback=True)
+                      if request.span.recording else NOOP_SPAN)
 
         def on_done(out, error, replica_id) -> None:
+            retry_span.finish(error)
             if error is not None:
                 self._fail_request(request.handle, request.tenant,
                                    error)
@@ -864,18 +1064,23 @@ class SimdramService:
             self.metrics.record_dispatch(
                 1, request.n_elements, self.capacity,
                 replica=replica_id)
+            if request.span.recording:
+                request.span.child("serve.scatter").finish()
             self._finish_request(request, out)
 
-        self._target.submit_pack(request, request.vectors,
-                                 request.n_elements, on_done)
+        with use_span(retry_span):
+            self._target.submit_pack(request, request.vectors,
+                                     request.n_elements, on_done)
 
     def _finish_request(self, request: PreparedRequest,
                         values: np.ndarray) -> None:
         if request.handle._future.done():
             return
         request.handle._future.set_result(values)
-        self.metrics.record_completion(
-            request.tenant, time.monotonic() - request.submitted_at)
+        latency_s = time.monotonic() - request.submitted_at
+        self.metrics.record_completion(request.tenant, latency_s)
+        self._latency_hist.observe(latency_s)
+        request.handle.span.finish()
         self._release_inflight(request.handle)
 
     def _fail_request(self, handle: ServeHandle, tenant: str,
@@ -884,6 +1089,7 @@ class SimdramService:
             return
         handle._future.set_exception(error)
         self.metrics.record_failure(tenant)
+        handle.span.finish(error)
         self._release_inflight(handle)
 
     def _release_inflight(self, handle: ServeHandle) -> None:

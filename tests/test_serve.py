@@ -598,6 +598,36 @@ class TestWarmupAndMetrics:
         assert percentile(samples, 50) == pytest.approx(50.5)
         assert percentile(samples, 99) == pytest.approx(99.01)
 
+    def test_small_sample_percentiles_bounded_by_window_max(self):
+        """Regression (ISSUE 8): with a handful of samples the snapshot
+        p50/p99 must be *observed* values (method="higher"), never an
+        interpolated figure above ``window_max``."""
+        metrics = ServeMetrics()
+        for s in (0.001, 0.002, 0.010):
+            metrics.record_completion("t", s)
+        latency = metrics.snapshot()["latency_ms"]
+        assert latency["p50"] in (1.0, 2.0, 10.0)
+        assert latency["p99"] == pytest.approx(10.0)
+        assert latency["p50"] <= latency["p99"] <= latency["window_max"]
+
+    def test_reset_zeroes_every_surface(self):
+        metrics = ServeMetrics()
+        metrics.record_submit("t", 4)
+        metrics.record_completion("t", 0.5)
+        metrics.record_dispatch(2, 8, 32, replica=1)
+        metrics.record_failover(1, 2)
+        metrics.record_reject("t")
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap["requests"]["submitted"] == 0
+        assert snap["requests"]["completed"] == 0
+        assert snap["latency_ms"]["samples"] == 0
+        assert snap["latency_ms"]["max"] == 0.0
+        assert snap["packing"]["dispatches"] == 0
+        assert snap["replicas"] == {}
+        assert snap["tenants"] == {}
+        assert snap["failover"]["replica_deaths"] == 0
+
     def test_metrics_thread_safety_smoke(self):
         metrics = ServeMetrics()
 
