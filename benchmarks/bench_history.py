@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Warn-only bench-history comparison between two ``bench_ci.json``.
+
+CI uploads every run's ``bench_ci.json`` keyed by commit SHA; this
+script compares the current report against the previous main-branch
+artifact and emits a GitHub Actions ``::warning::`` annotation for
+every gate metric that regressed more than ``--tolerance`` (default
+10%).  It inspects each gate's ``gate`` sub-dict and treats every
+numeric ``measured_*`` key as higher-is-better (that is the repo-wide
+gate convention: speedups, ratios, occupancies, reductions).
+
+The comparison is advisory by design: it always exits 0.  Hard
+regression limits live in the gates themselves (``run_all.py`` fails
+the job); the history step only surfaces *drift within the allowed
+band* before it accumulates into a gate failure.
+
+Usage::
+
+    python benchmarks/bench_history.py previous.json current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_gates(path: str) -> dict:
+    """{gate name: its ``gate`` sub-dict} from one bench_ci.json."""
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"bench-history: cannot read {path}: {exc}")
+        return {}
+    gates = report.get("gates", {})
+    return {name: section["gate"]
+            for name, section in gates.items()
+            if isinstance(section, dict)
+            and isinstance(section.get("gate"), dict)}
+
+
+def compare(previous: dict, current: dict,
+            tolerance: float) -> list[str]:
+    """Warning lines for every measured_* metric down > tolerance."""
+    warnings: list[str] = []
+    for name, old_gate in sorted(previous.items()):
+        new_gate = current.get(name)
+        if new_gate is None:
+            warnings.append(
+                f"gate '{name}' present in the previous report but "
+                f"missing from this run")
+            continue
+        for key, old_value in sorted(old_gate.items()):
+            if not key.startswith("measured_"):
+                continue
+            if not isinstance(old_value, (int, float)) or old_value <= 0:
+                continue
+            new_value = new_gate.get(key)
+            if not isinstance(new_value, (int, float)):
+                continue
+            if new_value < old_value * (1.0 - tolerance):
+                drop = 1.0 - new_value / old_value
+                warnings.append(
+                    f"gate '{name}' {key}: {old_value:.3g} -> "
+                    f"{new_value:.3g} ({drop:.0%} worse than the "
+                    f"previous main run)")
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous",
+                        help="bench_ci.json of the previous main run")
+    parser.add_argument("current",
+                        help="bench_ci.json of this run")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="fractional regression to tolerate "
+                             "silently (default 0.10 = 10%%)")
+    args = parser.parse_args(argv)
+
+    previous = load_gates(args.previous)
+    current = load_gates(args.current)
+    if not previous:
+        print("bench-history: no previous report; nothing to compare")
+        return 0
+    warnings = compare(previous, current, args.tolerance)
+    for line in warnings:
+        # GitHub Actions annotation — visible on the run summary, but
+        # never a failure (see module docstring).
+        print(f"::warning title=bench regression::{line}")
+    if not warnings:
+        n = sum(1 for gate in previous.values()
+                for key in gate if key.startswith("measured_"))
+        print(f"bench-history: {n} metrics within "
+              f"{args.tolerance:.0%} of the previous main run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

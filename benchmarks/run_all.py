@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run every CI benchmark gate and publish one unified report.
 
-The single entry point the CI benchmark job calls.  Executes all eight
+The single entry point the CI benchmark job calls.  Executes all nine
 regression gates —
 
 * ``vectorized`` — batched execution engine >= 5x the per-bank
@@ -26,6 +26,9 @@ regression gates —
 * ``obs`` — tracing instrumentation costs <= 2% per served request
   when disabled (no-op fast path) and <= 10% when recording
   (``bench_obs``);
+* ``slo`` — SLO-aware admission >= 1.5x FIFO goodput under 2x
+  overload, and continuous batching of staggered multi-step streams
+  >= 1.3x the drain-between-steps modeled throughput (``bench_slo``);
 
 — merges their sections into one schema-versioned ``bench_ci.json``
 (see :mod:`gate_utils` for the layout) and exits nonzero listing
@@ -52,6 +55,7 @@ import bench_lazy
 import bench_obs
 import bench_scale_out
 import bench_serve
+import bench_slo
 from gate_utils import merge_gate
 
 #: (gate name, module) in execution order; each module's run_gate()
@@ -65,6 +69,7 @@ GATES = (
     ("serve", bench_serve),
     ("scale_out", bench_scale_out),
     ("obs", bench_obs),
+    ("slo", bench_slo),
 )
 
 

@@ -11,6 +11,7 @@ Examples::
     python -m repro serve-demo --requests 96   # multi-tenant serving demo
     python -m repro serve-cluster --replicas 4 --kill-one
     python -m repro serve-cluster --trace-out trace.json   # Perfetto
+    python -m repro serve-stream --streams 4 --steps 6     # streaming
     python -m repro stats                      # Prometheus exposition
 """
 
@@ -321,9 +322,16 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a small deterministic serve workload and print the unified
     metrics: Prometheus text exposition by default, the structured
-    snapshot with ``--json``, and optionally a Chrome trace."""
+    snapshot with ``--json``, and optionally a Chrome trace.
+
+    The workload carries per-request deadlines (every third request is
+    generous, one is already lapsed) so the SLO series — goodput, shed
+    counts, on-time splits — and the modeled energy histogram all show
+    real values.  With ``--requests 0`` no traffic runs at all and the
+    scrape demonstrates the schema-stable zero-valued series."""
     import json
 
+    from repro.errors import DeadlineExceeded
     from repro.obs.metrics import MetricsRegistry
     from repro.runtime import SimdramCluster
     from repro.serve import ServeConfig, SimdramService
@@ -335,7 +343,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     tracer, trace_path = _make_tracer(args)
     registry = MetricsRegistry()   # private: one run, one namespace
     with SimdramCluster(2, config=config) as cluster, \
-            SimdramService(cluster, ServeConfig(max_wait_s=0.002),
+            SimdramService(cluster,
+                           ServeConfig(max_wait_s=0.002, slo_aware=True),
                            tenants={"alpha": 2.0, "beta": 1.0},
                            tracer=tracer, registry=registry) as service:
         handles = []
@@ -345,10 +354,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             n = int(rng.integers(1, 9))
             a = rng.integers(0, 1 << args.width, n)
             b = rng.integers(0, 1 << args.width, n)
+            # A lapsed deadline on the first request exercises the
+            # shed path; generous ones populate the on-time series.
+            deadline_s = (0.0 if i == 0
+                          else 30.0 if i % 3 == 0 else None)
             handles.append(service.submit(op, a, b, width=args.width,
-                                          tenant=tenant))
+                                          tenant=tenant,
+                                          deadline_s=deadline_s))
         for handle in handles:
-            handle.result(120)
+            try:
+                handle.result(120)
+            except DeadlineExceeded:
+                pass   # the intentionally lapsed request
         if args.json:
             print(json.dumps(registry.snapshot(), indent=2,
                              sort_keys=True, default=float))
@@ -357,6 +374,109 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for label, detail in _write_trace(tracer, trace_path):
         print(f"# {label}: {detail}", file=sys.stderr)
     return 0
+
+
+def _cmd_serve_stream(args: argparse.Namespace) -> int:
+    """Streaming-inference demo: staggered multi-step streams served
+    with continuous batching, side by side with the
+    drain-between-steps baseline.  Every stream's final activation is
+    verified against the numpy fold; the table shows why re-packing
+    between steps wins (fewer, fuller dispatches)."""
+    import time
+
+    from repro.runtime import SimdramCluster
+    from repro.serve import (
+        ServeConfig,
+        SimdramService,
+        StreamingServer,
+        affine_relu_step,
+        stream_golden,
+    )
+
+    width = args.width
+    geometry = DramGeometry.sim_small(
+        cols=args.cols, data_rows=256, banks=args.banks)
+    config = SimdramConfig(geometry=geometry)
+    step = affine_relu_step()
+    rng = np.random.default_rng(args.seed)
+    spec = [(rng.integers(1, 1 << (width - 1), args.lanes),
+             rng.integers(0, 4, args.lanes))
+            for _ in range(2 * args.streams)]
+
+    modes = {}
+    for mode, drain in (("continuous", False), ("drain", True)):
+        # The Perfetto trace (one serve.stream tree per stream, with
+        # serve.step children) only covers the continuous run.
+        tracer, trace_path = (_make_tracer(args) if not drain
+                              else (None, None))
+        with SimdramCluster(args.modules, config=config) as cluster, \
+                SimdramService(
+                    cluster,
+                    ServeConfig(max_wait_s=0.002, slo_aware=True),
+                    tracer=tracer) as service, \
+                StreamingServer(service,
+                                drain_between_steps=drain) as server:
+            service.warmup([(step, width)])
+            service.metrics.reset()
+            t0 = time.monotonic()
+
+            def start(x0, w, server=server):
+                return server.submit(
+                    step, x0, n_steps=args.steps, width=width,
+                    feeds={"w": w}, deadline_s=args.deadline_s)
+
+            wave1 = [start(x0, w) for x0, w in spec[:args.streams]]
+            # Stagger: the second wave arrives while the first is
+            # mid-sequence — continuous batching packs it straight
+            # into the in-flight streams' next step.
+            limit = time.monotonic() + 30
+            while (time.monotonic() < limit
+                   and not all(h.steps_done >= 2 or h.done()
+                               for h in wave1)):
+                time.sleep(0.0005)
+            wave2 = [start(x0, w) for x0, w in spec[args.streams:]]
+            streams = wave1 + wave2
+            server.drain(120)
+            wall_ms = (time.monotonic() - t0) * 1e3
+
+            n_ok = sum(
+                bool(np.array_equal(
+                    h.result(120),
+                    stream_golden(step, x0, args.steps, {"w": w},
+                                  width)))
+                for h, (x0, w) in zip(streams, spec))
+            stats = service.stats()
+            energies = [h.energy_nj for h in streams
+                        if h.energy_nj is not None]
+            modes[mode] = {
+                "verified": f"{n_ok} / {len(streams)}",
+                "dispatches": stats["packing"]["dispatches"],
+                "lane occupancy":
+                    f"{stats['packing']['lane_occupancy']:.0%}",
+                "on-time streams":
+                    sum(bool(h.on_time) for h in streams),
+                "mean energy (nJ/stream)":
+                    round(float(np.mean(energies)), 2)
+                    if energies else "n/a",
+                "goodput (req/s)":
+                    round(stats["slo"]["goodput_rps"], 1),
+                "wall (ms)": round(wall_ms, 1),
+            }
+            if mode == "continuous":
+                trace_rows = _write_trace(tracer, trace_path)
+                all_ok = n_ok == len(streams)
+            else:
+                all_ok = all_ok and n_ok == len(streams)
+
+    rows = [(metric, modes["continuous"][metric],
+             modes["drain"][metric])
+            for metric in modes["continuous"]]
+    rows.extend((label, detail, "") for label, detail in trace_rows)
+    print(format_table(
+        ["metric", "continuous", "drain-between-steps"], rows,
+        title=f"{2 * args.streams} staggered streams x {args.steps} "
+              f"steps of relu((x + w) - 1)"))
+    return 0 if all_ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -445,6 +565,29 @@ def build_parser() -> argparse.ArgumentParser:
                                 "every request to PATH (tracks per "
                                 "replica process)")
 
+    ss_parser = sub.add_parser(
+        "serve-stream",
+        help="serve multi-step streams with continuous batching vs "
+             "the drain-between-steps baseline")
+    ss_parser.add_argument("--streams", type=int, default=4,
+                           help="streams per wave (two staggered "
+                                "waves are submitted)")
+    ss_parser.add_argument("--steps", type=int, default=6,
+                           help="dependent steps per stream")
+    ss_parser.add_argument("--lanes", type=int, default=8,
+                           help="elements per stream vector")
+    ss_parser.add_argument("--width", type=int, default=8)
+    ss_parser.add_argument("--deadline-s", type=float, default=60.0,
+                           help="SLO for each whole sequence")
+    ss_parser.add_argument("--modules", type=int, default=1)
+    ss_parser.add_argument("--cols", type=int, default=32)
+    ss_parser.add_argument("--banks", type=int, default=2)
+    ss_parser.add_argument("--seed", type=int, default=0)
+    ss_parser.add_argument("--trace-out", metavar="PATH",
+                           help="write a Chrome/Perfetto trace of the "
+                                "continuous run (serve.stream trees "
+                                "with serve.step children)")
+
     stats_parser = sub.add_parser(
         "stats",
         help="run a small serve workload and print unified metrics")
@@ -468,6 +611,7 @@ _HANDLERS = {
     "cluster": _cmd_cluster,
     "serve-demo": _cmd_serve_demo,
     "serve-cluster": _cmd_serve_cluster,
+    "serve-stream": _cmd_serve_stream,
     "stats": _cmd_stats,
 }
 

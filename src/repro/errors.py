@@ -67,5 +67,13 @@ class AdmissionError(SimdramError):
     """The serving layer rejected a request (queue full or closed)."""
 
 
+class DeadlineExceeded(SimdramError):
+    """A request's SLO deadline lapsed before it could be served, so
+    the SLO-aware scheduler shed it without executing — or a failover
+    found the request's remaining budget already spent.  Distinct from
+    :class:`AdmissionError` (never admitted) and from execution
+    failures (ran and broke): a shed request consumed no lanes."""
+
+
 class ConfigError(SimdramError):
     """A performance/energy/reliability model was configured inconsistently."""

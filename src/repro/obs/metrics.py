@@ -83,8 +83,16 @@ class _Metric:
             self._series.clear()
 
     def samples(self) -> "list[Sample]":
+        series = self.series()
+        if not series:
+            # Schema stability: a registered instrument that has seen
+            # no traffic still exposes one zero-valued (label-less)
+            # series, so scrapes carry the same metric families from
+            # process start — dashboards never see families pop into
+            # existence at first traffic.
+            return [Sample(self.name, 0.0, (), self.type, self.help)]
         return [Sample(self.name, v, k, self.type, self.help)
-                for k, v in sorted(self.series().items())]
+                for k, v in sorted(series.items())]
 
 
 class Counter(_Metric):
@@ -186,6 +194,10 @@ class Histogram:
         with self._lock:
             rows = {k: ([list(v[0])], v[1]) for k, v in
                     self._series.items()}
+        if not rows:
+            # Schema stability before first observation: expose the
+            # full zero-valued bucket/sum/count family (see _Metric).
+            rows = {(): ([[0] * (len(self.bounds) + 1)], 0.0)}
         for key, ((counts,), total) in sorted(rows.items()):
             cum = 0
             for bound, n in zip(self.bounds, counts[:-1]):

@@ -77,6 +77,10 @@ class WorkDescriptor:
     #: replica records a local ``replica.execute`` span tree for this
     #: job and ships it back (serialized) inside the result payload.
     traced: bool = False
+    #: Absolute monotonic SLO deadline of the pack's requests (or
+    #: ``None``): failover consults it so a job whose budget lapsed
+    #: while its replica died is shed instead of re-homed.
+    deadline: float | None = None
 
     def label(self) -> str:
         return (self.op_name if self.kind == "op"

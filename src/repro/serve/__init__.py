@@ -23,20 +23,32 @@ Quick start::
         print(svc.stats()["packing"])
 """
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, DeadlineExceeded
 from repro.serve.batcher import LanePacker, PackGroup, PreparedRequest
-from repro.serve.metrics import ServeMetrics
+from repro.serve.metrics import RequestEnergyModel, ServeMetrics
 from repro.serve.router import ReplicaRouter
 from repro.serve.service import ServeConfig, ServeHandle, SimdramService
+from repro.serve.streaming import (
+    StreamHandle,
+    StreamingServer,
+    affine_relu_step,
+    stream_golden,
+)
 
 __all__ = [
     "SimdramService",
     "ServeConfig",
     "ServeHandle",
     "ServeMetrics",
+    "RequestEnergyModel",
     "ReplicaRouter",
+    "StreamingServer",
+    "StreamHandle",
+    "affine_relu_step",
+    "stream_golden",
     "LanePacker",
     "PackGroup",
     "PreparedRequest",
     "AdmissionError",
+    "DeadlineExceeded",
 ]

@@ -78,6 +78,9 @@ class PreparedRequest:
     #: touches them.
     span: object = NOOP_SPAN
     pack_span: object = NOOP_SPAN
+    #: Absolute monotonic deadline (SLO), or ``None`` for best-effort.
+    #: Set by the service after :func:`prepare`, like the spans.
+    deadline: float | None = None
 
     def feeds(self) -> dict[str, np.ndarray]:
         """Name -> vector binding for ``"expr"`` requests."""

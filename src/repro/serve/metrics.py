@@ -17,7 +17,18 @@ collects everything an operator watches on a serving box:
 * **replicas** — when the service dispatches through a
   :class:`~repro.serve.router.ReplicaRouter`, per-replica dispatch /
   request / lane counters plus failover events (replica deaths seen
-  and requests re-queued onto survivors).
+  and requests re-queued onto survivors);
+* **SLO accounting** — requests carrying a deadline are classified at
+  resolution into *on-time* / *late* / *shed* (shed = the SLO-aware
+  scheduler dropped a lapsed request without executing it,
+  :class:`~repro.errors.DeadlineExceeded`), per tenant and in total,
+  with **goodput** (on-time completions per second of service
+  lifetime) derived in :meth:`ServeMetrics.snapshot`;
+* **modeled energy** — :class:`RequestEnergyModel` folds the perf
+  layer's DRAM energy model (:class:`~repro.perf.model.PimSystemModel`)
+  into the serving path: each completed request is charged the modeled
+  nanojoules of its kernel's µProgram times the lanes it occupied, so
+  the service reports *joules per request*, not just latency.
 
 Latency percentiles are computed over a bounded sliding **reservoir**
 of the most recent :data:`RESERVOIR` completions, so a long-running
@@ -32,6 +43,7 @@ plain ``dict`` suitable for logging or JSON export.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 import numpy as np
@@ -57,19 +69,21 @@ def percentile(samples: list[float], q: float,
 
 
 class _TenantCounters:
-    __slots__ = ("submitted", "completed", "failed", "rejected", "lanes")
+    __slots__ = ("submitted", "completed", "failed", "rejected",
+                 "shed", "lanes")
 
     def __init__(self) -> None:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.shed = 0
         self.lanes = 0
 
     def as_dict(self) -> dict:
         return {"submitted": self.submitted, "completed": self.completed,
                 "failed": self.failed, "rejected": self.rejected,
-                "lanes": self.lanes}
+                "shed": self.shed, "lanes": self.lanes}
 
 
 class _ReplicaCounters:
@@ -109,10 +123,24 @@ class ServeMetrics:
         #: Replica deaths observed / requests re-queued onto survivors.
         self.n_replica_deaths = 0
         self.n_failover_requeues = 0
+        #: SLO accounting: requests submitted with a deadline, and how
+        #: they resolved — completed within it, completed late, or
+        #: shed (dropped un-executed with ``DeadlineExceeded``).
+        self.n_with_deadline = 0
+        self.n_on_time = 0
+        self.n_late = 0
+        self.n_shed = 0
+        #: Modeled DRAM energy charged to completed requests (nJ), and
+        #: how many requests were metered (the energy model can decline
+        #: a request it cannot price without failing it).
+        self.energy_nj_total = 0.0
+        self.n_energy_metered = 0
         self._latencies: deque[float] = deque(maxlen=RESERVOIR)
         #: True maximum over the service's whole lifetime — samples
         #: falling out of the bounded reservoir never lower it.
         self._lifetime_max_s = 0.0
+        #: Goodput denominator: service lifetime (reset() restarts it).
+        self._started_at = time.monotonic()
 
     def _tenant(self, tenant: str) -> _TenantCounters:
         counters = self._tenants.get(tenant)
@@ -123,9 +151,12 @@ class ServeMetrics:
     # ------------------------------------------------------------------
     # recording (called from submitter and worker threads)
     # ------------------------------------------------------------------
-    def record_submit(self, tenant: str, lanes: int) -> None:
+    def record_submit(self, tenant: str, lanes: int,
+                      has_deadline: bool = False) -> None:
         with self._lock:
             self.n_submitted += 1
+            if has_deadline:
+                self.n_with_deadline += 1
             counters = self._tenant(tenant)
             counters.submitted += 1
             counters.lanes += lanes
@@ -163,10 +194,24 @@ class ServeMetrics:
             self.n_replica_deaths += 1
             self.n_failover_requeues += n_requeued
 
-    def record_completion(self, tenant: str, latency_s: float) -> None:
+    def record_completion(self, tenant: str, latency_s: float,
+                          on_time: "bool | None" = None,
+                          energy_nj: "float | None" = None) -> None:
+        """One resolved request.  ``on_time`` is ``None`` when the
+        request carried no deadline, else whether it met it;
+        ``energy_nj`` is the modeled DRAM energy charged to it (absent
+        when the energy model could not price the kernel)."""
         with self._lock:
             self.n_completed += 1
             self._tenant(tenant).completed += 1
+            if on_time is not None:
+                if on_time:
+                    self.n_on_time += 1
+                else:
+                    self.n_late += 1
+            if energy_nj is not None:
+                self.energy_nj_total += energy_nj
+                self.n_energy_metered += 1
             self._latencies.append(latency_s)
             if latency_s > self._lifetime_max_s:
                 self._lifetime_max_s = latency_s
@@ -175,6 +220,14 @@ class ServeMetrics:
         with self._lock:
             self.n_failed += 1
             self._tenant(tenant).failed += 1
+
+    def record_shed(self, tenant: str) -> None:
+        """One request dropped un-executed because its deadline lapsed
+        (``DeadlineExceeded``) — counted apart from failures so goodput
+        math and load-shedding visibility don't blur into errors."""
+        with self._lock:
+            self.n_shed += 1
+            self._tenant(tenant).shed += 1
 
     def reset(self) -> None:
         """Zero every counter, tenant/replica table and the latency
@@ -195,8 +248,15 @@ class ServeMetrics:
             self.n_sequential_fallbacks = 0
             self.n_replica_deaths = 0
             self.n_failover_requeues = 0
+            self.n_with_deadline = 0
+            self.n_on_time = 0
+            self.n_late = 0
+            self.n_shed = 0
+            self.energy_nj_total = 0.0
+            self.n_energy_metered = 0
             self._latencies.clear()
             self._lifetime_max_s = 0.0
+            self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # reading
@@ -207,14 +267,34 @@ class ServeMetrics:
             samples = list(self._latencies)
             dispatches = self.n_dispatches
             packed = self.n_dispatched_requests
+            elapsed_s = max(1e-9, time.monotonic() - self._started_at)
+            metered = self.n_energy_metered
             return {
                 "requests": {
                     "submitted": self.n_submitted,
                     "completed": self.n_completed,
                     "failed": self.n_failed,
                     "rejected": self.n_rejected,
+                    "shed": self.n_shed,
                     "in_flight": (self.n_submitted - self.n_completed
-                                  - self.n_failed),
+                                  - self.n_failed - self.n_shed),
+                },
+                "slo": {
+                    "with_deadline": self.n_with_deadline,
+                    "on_time": self.n_on_time,
+                    "late": self.n_late,
+                    "shed": self.n_shed,
+                    # Goodput = deadline-meeting completions per second
+                    # of service lifetime (reset() restarts the clock).
+                    "goodput_rps": self.n_on_time / elapsed_s,
+                    "elapsed_s": elapsed_s,
+                },
+                "energy": {
+                    "modeled_request_nj_total": self.energy_nj_total,
+                    "requests_metered": metered,
+                    "nj_per_request_mean": (
+                        self.energy_nj_total / metered if metered
+                        else 0.0),
                 },
                 "latency_ms": {
                     # p50/p99/window_max are computed over the bounded
@@ -262,3 +342,62 @@ class ServeMetrics:
                             for name, counters
                             in sorted(self._tenants.items())},
             }
+
+
+class RequestEnergyModel:
+    """Modeled DRAM joules per served request.
+
+    Folds the perf layer's energy model into the serving path: a
+    request's kernel (the pack key's ``(identity, engine)``) compiles
+    to one µProgram whose nanojoule cost under the paper's DDR4-2400
+    module (:meth:`~repro.perf.model.PimSystemModel.paper`) is a pure
+    function of the command stream, so it is computed once per pack
+    key and cached.  Per-element energy is bank-count invariant (the
+    ``measure()`` contract), so a request's bill is simply
+    ``nJ/element × n_elements`` regardless of how the packer grouped
+    it.  Pricing failures return ``None`` instead of raising — energy
+    metering must never fail a request.
+    """
+
+    def __init__(self, system=None) -> None:
+        from repro.perf.model import PimSystemModel
+        self._system = system or PimSystemModel.paper()
+        self._lock = threading.Lock()
+        self._nj_per_element: dict = {}
+
+    def _price_key(self, request) -> "float | None":
+        identity = request.key[0]
+        backend = identity[2]
+        if request.kind == "op":
+            from repro.core.compiler import compile_cached
+            program = compile_cached(request.op_name, request.width,
+                                     backend)
+        elif request.root is not None:
+            from repro.core import fuse
+            program = fuse.compile_expr(request.root, request.width,
+                                        backend).program
+        else:
+            return None
+        system = self._system
+        nj = program.energy_nj(system.timing, system.geometry,
+                               system.energy)
+        return nj / system.geometry.cols
+
+    def nj_per_request(self, request) -> "float | None":
+        """Modeled nanojoules for one :class:`PreparedRequest`, or
+        ``None`` when the kernel cannot be priced (e.g. a traced
+        module with no recompilable program)."""
+        key = request.key
+        with self._lock:
+            if key in self._nj_per_element:
+                per_element = self._nj_per_element[key]
+                return (None if per_element is None
+                        else per_element * request.n_elements)
+        try:
+            per_element = self._price_key(request)
+        except Exception:  # noqa: BLE001 - metering must not fail serving
+            per_element = None
+        with self._lock:
+            self._nj_per_element.setdefault(key, per_element)
+        return (None if per_element is None
+                else per_element * request.n_elements)

@@ -38,12 +38,13 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from bisect import bisect_right
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ReplicaError
+from repro.errors import DeadlineExceeded, ReplicaError
 from repro.obs.metrics import Sample
 from repro.obs.tracing import span as obs_span
 from repro.obs.tracing import use_span
@@ -129,7 +130,8 @@ class ReplicaRouter:
         desc = WorkDescriptor(
             kind=request.kind, op_name=request.op_name,
             root=request.root, slot_names=tuple(request.slot_names),
-            width=request.width, engine=request.engine.name)
+            width=request.width, engine=request.engine.name,
+            deadline=getattr(request, "deadline", None))
         with self._lock:
             self._outstanding += 1
 
@@ -264,6 +266,22 @@ class ReplicaRouter:
         return retry
 
     def _requeue_under(self, job: "PendingJob", retry_span) -> None:
+        if job.desc.deadline is not None:
+            # Failover respects the request's remaining SLO budget: a
+            # job whose deadline already lapsed while its replica died
+            # is shed, not re-homed — a survivor's lanes go to work
+            # that can still be on time.  The retry span records the
+            # budget either way, so post-mortems see how close it was.
+            remaining = job.desc.deadline - time.monotonic()
+            retry_span.set(deadline_remaining_s=remaining)
+            if remaining <= 0:
+                retry_span.fail("deadline lapsed during failover")
+                if not job.future.done():
+                    job.future.set_exception(DeadlineExceeded(
+                        f"request shed during failover: deadline "
+                        f"lapsed {-remaining:.3f}s before a survivor "
+                        f"could take it (tried {job.attempts})"))
+                return
         while True:
             alive = self.replicas.alive_ids()
             if not alive:

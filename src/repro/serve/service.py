@@ -62,7 +62,11 @@ from repro.core.expr import Expr
 from repro.core.fuse import kernel_identity
 from repro.core.operations import get_operation
 from repro.dram.commands import CommandStats
-from repro.errors import AdmissionError, OperationError
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceeded,
+    OperationError,
+)
 from repro.exec.engines import ExecutionEngine, get_engine
 from repro.lazy.tensor import LazyTensor
 from repro.obs.metrics import MetricsRegistry, Sample, get_registry
@@ -78,7 +82,7 @@ from repro.serve.batcher import (
     PreparedRequest,
     prepare,
 )
-from repro.serve.metrics import ServeMetrics
+from repro.serve.metrics import RequestEnergyModel, ServeMetrics
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,19 @@ class ServeConfig:
     #: Default execution engine for requests that don't choose one —
     #: a registry name or an :class:`~repro.exec.engines.ExecutionEngine`.
     engine: "str | ExecutionEngine" = "auto"
+    #: SLO-aware admission: within a tenant's virtual-time budget the
+    #: worker pops requests earliest-deadline-first instead of FIFO
+    #: (deadline-less requests sort last, preserving FIFO among
+    #: themselves).  Cross-tenant fairness is untouched — EDF reorders
+    #: only *inside* the tenant WFQ already chose.
+    slo_aware: bool = False
+    #: With ``slo_aware``: a request whose deadline has already lapsed
+    #: when the worker pops it is **shed** — failed with
+    #: :class:`~repro.errors.DeadlineExceeded` without executing,
+    #: freeing its lanes for requests that can still make their SLO.
+    #: ``False`` deprioritizes lapsed requests instead (they run after
+    #: every request that can still be on time, and complete late).
+    shed_lapsed: bool = True
 
 
 class ServeHandle:
@@ -116,6 +133,14 @@ class ServeHandle:
         self.request_id = request_id
         self.tenant = tenant
         self.n_elements = n_elements
+        #: Absolute monotonic SLO deadline, or ``None`` (best effort).
+        self.deadline: float | None = None
+        #: Resolution verdicts, set when the handle resolves: whether a
+        #: deadline-carrying request made its deadline (``None`` when
+        #: it carried none) and the modeled DRAM energy charged to it
+        #: (``None`` when unpriceable).
+        self.on_time: bool | None = None
+        self.energy_nj: float | None = None
         #: The request's ``serve.request`` trace root (the no-op
         #: singleton when tracing is off/unsampled); finished — and
         #: thereby recorded — exactly when the handle resolves.
@@ -125,6 +150,15 @@ class ServeHandle:
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Wait for the request (re-raising its failure)."""
         return self._future.result(timeout)
+
+    def add_done_callback(self, fn) -> None:
+        """Invoke ``fn(handle)`` once the handle resolves (success or
+        failure) — immediately if it already has.  Runs on the thread
+        that resolves the handle, so keep it cheap and never submit
+        back into the service from it (enqueue and let another thread
+        submit); the streaming layer chains multi-step sequences this
+        way."""
+        self._future.add_done_callback(lambda _: fn(self))
 
     def done(self) -> bool:
         return self._future.done()
@@ -170,6 +204,8 @@ class _RawRequest:
     lanes: int
     #: Open ``serve.admit`` span covering queue wait (noop untraced).
     admit_span: object = NOOP_SPAN
+    #: Absolute monotonic SLO deadline, or ``None`` (best effort).
+    deadline: float | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -334,6 +370,15 @@ class SimdramService:
         self._latency_hist = self.registry.histogram(
             "repro_serve_request_latency_seconds",
             "submit-to-resolution latency of completed requests")
+        #: Modeled joules per completed request (perf's energy model
+        #: folded into the serving path).  Buckets span ~0.1 nJ to
+        #: ~100 mJ in powers of four — kernels cost nanojoules per
+        #: element, requests carry up to thousands of lanes.
+        self._energy_hist = self.registry.histogram(
+            "repro_request_energy_joules",
+            "modeled DRAM energy per completed request (J)",
+            buckets=tuple(1e-10 * 4.0 ** i for i in range(16)))
+        self._energy = RequestEnergyModel()
         attach = getattr(self._target, "attach_metrics", None)
         if attach is not None:
             attach(self.metrics)
@@ -399,7 +444,8 @@ class SimdramService:
                width: int = 8, tenant: str = "default",
                engine: "str | ExecutionEngine | None" = None,
                block: bool = True,
-               timeout: float | None = None) -> ServeHandle:
+               timeout: float | None = None,
+               deadline_s: float | None = None) -> ServeHandle:
         """Queue one request; returns its :class:`ServeHandle`.
 
         ``op`` is a catalog operation name (positional ``operands``,
@@ -413,6 +459,15 @@ class SimdramService:
         flight (accepted, not yet resolved), ``block=True`` waits for
         space (up to ``timeout`` seconds) and ``block=False`` raises
         :class:`~repro.errors.AdmissionError` immediately.
+
+        ``deadline_s`` declares the request's SLO: it should resolve
+        within that many seconds of this call.  The verdict lands on
+        ``handle.on_time`` and in the goodput metric; with
+        ``ServeConfig.slo_aware`` the scheduler additionally serves
+        the tenant's queue earliest-deadline-first and sheds (or
+        deprioritizes, per ``shed_lapsed``) requests whose deadline
+        lapsed before they reached the packer — a shed handle raises
+        :class:`~repro.errors.DeadlineExceeded` and never executes.
 
         Semantic validation of op/``Expr`` requests happens on the
         worker thread, so a malformed request fails *its own handle*,
@@ -443,18 +498,23 @@ class SimdramService:
                             else engine)
         lanes = self._lane_estimate(op, operands, feeds)
         handle = ServeHandle(next(self._ids), tenant, lanes)
+        now = time.monotonic()
+        slo_deadline = None if deadline_s is None else now + deadline_s
+        handle.deadline = slo_deadline
         # One trace root per request; its serve.admit child stays open
         # until the worker pops the request, so queue wait is visible.
         handle.span = self.tracer.trace(
             "serve.request", tenant=tenant,
             request_id=handle.request_id, lanes=lanes)
+        if handle.span.recording and deadline_s is not None:
+            handle.span.set(deadline_s=deadline_s)
         admit_span = (handle.span.child("serve.admit")
                       if handle.span.recording else NOOP_SPAN)
         raw = _RawRequest(handle=handle, op_or_root=op,
                           operands=tuple(operands), feeds=feeds,
                           width=width, tenant=tenant, engine=engine,
-                          submitted_at=time.monotonic(), lanes=lanes,
-                          admit_span=admit_span)
+                          submitted_at=now, lanes=lanes,
+                          admit_span=admit_span, deadline=slo_deadline)
 
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
@@ -502,7 +562,8 @@ class SimdramService:
             # Recorded before the lock releases, so the worker can
             # never record this request's completion first (metrics
             # would transiently show completed > submitted).
-            self.metrics.record_submit(tenant, lanes)
+            self.metrics.record_submit(
+                tenant, lanes, has_deadline=slo_deadline is not None)
             self._cond.notify_all()
         return handle
 
@@ -666,7 +727,8 @@ class SimdramService:
         req, lat = snap["requests"], snap["latency_ms"]
         pack, paging = snap["packing"], snap["paging"]
         out: list[Sample] = []
-        for state in ("submitted", "completed", "failed", "rejected"):
+        for state in ("submitted", "completed", "failed", "rejected",
+                      "shed"):
             out.append(Sample("repro_serve_requests_total", req[state],
                               (("state", state),), "counter",
                               "requests by outcome"))
@@ -703,9 +765,37 @@ class SimdramService:
         out.append(Sample("repro_failover_requeued_total",
                           fo["requeued_requests"], (), "counter",
                           "in-flight requests re-homed to survivors"))
-        for tenant, counters in snap["tenants"].items():
+        slo, energy = snap["slo"], snap["energy"]
+        out.append(Sample("repro_serve_goodput",
+                          slo["goodput_rps"], (), "gauge",
+                          "completions within deadline per second"))
+        for name, value in (("with_deadline", slo["with_deadline"]),
+                            ("on_time", slo["on_time"]),
+                            ("late", slo["late"])):
+            out.append(Sample("repro_serve_slo_requests_total", value,
+                              (("state", name),), "counter",
+                              "deadline-carrying requests by verdict"))
+        tenants = snap["tenants"]
+        if tenants:
+            for tenant, counters in tenants.items():
+                out.append(Sample(
+                    "repro_serve_deadline_shed_total",
+                    counters["shed"], (("tenant", tenant),), "counter",
+                    "requests shed on a lapsed deadline, per tenant"))
+        else:
+            # Schema stability: the family exists from process start.
+            out.append(Sample("repro_serve_deadline_shed_total", 0.0,
+                              (), "counter",
+                              "requests shed on a lapsed deadline, "
+                              "per tenant"))
+        out.append(Sample("repro_request_energy_nj_total",
+                          energy["modeled_request_nj_total"], (),
+                          "counter",
+                          "modeled DRAM energy over completed "
+                          "requests (nJ)"))
+        for tenant, counters in tenants.items():
             for state in ("submitted", "completed", "failed",
-                          "rejected"):
+                          "rejected", "shed"):
                 out.append(Sample(
                     "repro_serve_tenant_requests_total",
                     counters[state],
@@ -742,7 +832,8 @@ class SimdramService:
         tenant = min(self._queues,
                      key=lambda t: self._vtime.get(t, 0.0))
         queue = self._queues[tenant]
-        raw = queue.popleft()
+        raw = (self._pop_edf(queue) if self.config.slo_aware
+               else queue.popleft())
         vtime = self._vtime.get(tenant, 0.0)
         self._vfloor = max(self._vfloor, vtime)
         charged = vtime + raw.lanes / self._weights.get(tenant, 1.0)
@@ -754,6 +845,38 @@ class SimdramService:
             # The leaving tenant's full charge becomes the floor, so
             # rejoining exactly where it left grants no idle credit.
             self._vfloor = max(self._vfloor, charged)
+        return raw
+
+    def _pop_edf(self, queue: "deque[_RawRequest]") -> _RawRequest:
+        """EDF-biased pop within one tenant's queue (``slo_aware``).
+
+        Earliest deadline first; deadline-less requests sort last and
+        stay FIFO among themselves (the queue index tiebreaks).  With
+        ``shed_lapsed`` a lapsed request keeps its earliest-first rank
+        — it pops *soonest* so :meth:`_admit` sheds it immediately,
+        costing the scan one entry instead of lanes.  Without it,
+        lapsed requests sort behind every request that can still make
+        its deadline, and execute (late) only once nothing else waits.
+
+        O(queue) scan per pop; queues are bounded by ``max_queue``.
+        """
+        if len(queue) == 1:
+            return queue.popleft()
+        inf = float("inf")
+        now = (None if self.config.shed_lapsed else time.monotonic())
+        best_i = 0
+        best_key = None
+        for i, raw in enumerate(queue):
+            d = inf if raw.deadline is None else raw.deadline
+            if now is None:
+                key = (d, i)
+            else:
+                lapsed = raw.deadline is not None and now >= raw.deadline
+                key = (1 if lapsed else 0, d, i)
+            if best_key is None or key < best_key:
+                best_i, best_key = i, key
+        raw = queue[best_i]
+        del queue[best_i]
         return raw
 
     def _run_worker(self) -> None:
@@ -852,6 +975,16 @@ class SimdramService:
     def _admit(self, raw: _RawRequest) -> None:
         """Prepare one raw request and pack (or directly dispatch) it."""
         raw.admit_span.finish()  # queue wait ends here
+        if (self.config.slo_aware and self.config.shed_lapsed
+                and raw.deadline is not None
+                and time.monotonic() >= raw.deadline):
+            # Shed: the deadline lapsed in the queue; executing now
+            # can only produce a late answer while displacing lanes
+            # from requests that can still make theirs.
+            self._fail_request(raw.handle, raw.tenant, DeadlineExceeded(
+                f"request #{raw.handle.request_id} shed: deadline "
+                f"lapsed before admission"))
+            return
         try:
             request = prepare(
                 raw.handle, raw.op_or_root, raw.operands, raw.feeds,
@@ -861,6 +994,7 @@ class SimdramService:
             self._fail_request(raw.handle, raw.tenant, error)
             return
         request.span = raw.handle.span
+        request.deadline = raw.deadline
         if request.span.recording:
             # Open until the group dispatches: the packer wait.
             request.pack_span = request.span.child(
@@ -1076,10 +1210,20 @@ class SimdramService:
                         values: np.ndarray) -> None:
         if request.handle._future.done():
             return
+        now = time.monotonic()
+        on_time = (None if request.deadline is None
+                   else now <= request.deadline)
+        energy_nj = self._energy.nj_per_request(request)
+        request.handle.on_time = on_time
+        request.handle.energy_nj = energy_nj
         request.handle._future.set_result(values)
-        latency_s = time.monotonic() - request.submitted_at
-        self.metrics.record_completion(request.tenant, latency_s)
+        latency_s = now - request.submitted_at
+        self.metrics.record_completion(request.tenant, latency_s,
+                                       on_time=on_time,
+                                       energy_nj=energy_nj)
         self._latency_hist.observe(latency_s)
+        if energy_nj is not None:
+            self._energy_hist.observe(energy_nj * 1e-9)
         request.handle.span.finish()
         self._release_inflight(request.handle)
 
@@ -1088,7 +1232,12 @@ class SimdramService:
         if handle._future.done():
             return
         handle._future.set_exception(error)
-        self.metrics.record_failure(tenant)
+        if isinstance(error, DeadlineExceeded):
+            # Shed, not failed: the request never executed; goodput
+            # math and error-rate alerts must not conflate the two.
+            self.metrics.record_shed(tenant)
+        else:
+            self.metrics.record_failure(tenant)
         handle.span.finish(error)
         self._release_inflight(handle)
 

@@ -73,3 +73,35 @@ class TestCommands:
         assert "24 / 24" in out
         assert "lane occupancy" in out
         assert "tenant 'pro'" in out
+
+    def test_serve_stream_runs_green(self, capsys):
+        """Both scheduling modes verify every stream against the
+        numpy fold, and the comparison table shows both columns."""
+        assert main(["serve-stream", "--streams", "2", "--steps", "3",
+                     "--lanes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 / 4" in out
+        assert "continuous" in out and "drain-between-steps" in out
+        assert "goodput" in out
+
+    def test_stats_zero_traffic_scrape_is_schema_stable(self, capsys):
+        """``stats --requests 0`` runs no traffic at all, yet the
+        scrape still exposes every serve metric family (zero-valued),
+        including the SLO and energy series."""
+        assert main(["stats", "--requests", "0"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_serve_requests_total{state="submitted"} 0' in out
+        assert "repro_serve_goodput 0" in out
+        assert "repro_serve_deadline_shed_total 0" in out
+        assert "repro_request_energy_joules_count 0" in out
+        assert "repro_serve_request_latency_seconds_count 0" in out
+
+    def test_stats_reports_slo_traffic(self, capsys):
+        """The default stats workload carries deadlines: one request
+        is intentionally lapsed (shed), the rest complete."""
+        assert main(["stats", "--requests", "9"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_serve_requests_total{state="shed"} 1' in out
+        assert 'repro_serve_slo_requests_total{state="on_time"} 2' \
+            in out
+        assert "repro_request_energy_joules_count 8" in out

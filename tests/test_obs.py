@@ -351,6 +351,29 @@ class TestMetricsRegistry:
         snap = reg.snapshot()
         assert json.loads(json.dumps(snap, default=float))
 
+    def test_untouched_instruments_scrape_zero_valued(self):
+        """Schema stability: registered instruments that saw no
+        traffic still expose zero-valued series, so a scrape before
+        first traffic carries the same metric families as one after
+        (dashboards never see families pop into existence)."""
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total", "c")
+        reg.gauge("repro_g", "g")
+        reg.histogram("repro_h_seconds", "h", buckets=(0.1,))
+        text = reg.prometheus_text()
+        assert "repro_c_total 0" in text
+        assert "repro_g 0" in text
+        assert 'repro_h_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_h_seconds_count 0" in text
+        assert "repro_h_seconds_sum 0" in text
+        # First real traffic replaces the zero rows in place.
+        reg.counter("repro_c_total").inc(2)
+        reg.histogram("repro_h_seconds").observe(0.05)
+        text = reg.prometheus_text()
+        assert "repro_c_total 2" in text
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in text
+
     def test_process_global_registry_is_singleton(self):
         assert get_registry() is get_registry()
 
