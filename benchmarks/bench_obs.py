@@ -19,6 +19,14 @@ per-request time:
   children, the detached dispatch subtree, the ``copy_tree`` graft,
   buffered finish) and requires it under ``--max-on-overhead``
   (default 10%) of the per-request time.
+* **always-on PMU + flight recorder** — these two cannot be turned
+  off, so their combined per-request tax gates separately.  The
+  microbenchmarks replay the exact hook work a served request incurs
+  (one ``record_dispatch`` with a real ``CommandStats`` delta, two
+  ``record_boundary`` timeline folds, two transposition records, one
+  tenant ``attribute``, plus the flight-recorder ``record`` calls the
+  serve/cluster hooks emit) and require the sum under
+  ``--max-pmu-flight-overhead`` (default 5%) of the per-request time.
 
 Component-level numerators against an in-situ denominator, rather
 than two wall-clock serve runs diffed against each other: the serve
@@ -47,7 +55,10 @@ import numpy as np
 from gate_utils import publish
 
 from repro.core.framework import SimdramConfig
+from repro.dram.commands import CommandStats
 from repro.dram.geometry import DramGeometry
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.pmu import DevicePmu
 from repro.obs.tracing import Tracer, span, use_span
 from repro.runtime import SimdramCluster
 from repro.serve import ServeConfig, SimdramService
@@ -60,8 +71,13 @@ LANES_PER_REQUEST = 32
 #: Span sites one request crosses end to end (admit, pack, dispatch,
 #: place, transport, cluster, execute, scatter, plus headroom).
 SITES_PER_REQUEST = 16
+#: Flight-recorder events one served request emits across the hooks
+#: (serve.admit, serve.dispatch, two pmu.delta, span.root, headroom).
+FLIGHT_EVENTS_PER_REQUEST = 6
 NOOP_ITERS = 200_000
 TREE_ITERS = 5_000
+PMU_ITERS = 20_000
+FLIGHT_ITERS = 50_000
 
 
 def module_config() -> SimdramConfig:
@@ -121,6 +137,50 @@ def time_traced_request() -> float:
     return _best(loop, TREE_ITERS)
 
 
+def time_pmu_request() -> float:
+    """Seconds of device-PMU hook work one served request incurs: one
+    ``record_dispatch`` (lockstep per-bank delta, kernel attribution),
+    two ``record_boundary`` timeline folds, two transposition records
+    (striped write + read) and one serve-layer ``attribute``.  Uses a
+    private :class:`DevicePmu` so the bench does not pollute the
+    process-global counters."""
+    pmu = DevicePmu()
+    module_id = pmu.register_module(2, LANES_PER_REQUEST)
+    delta = CommandStats()
+    delta.record_ap(3)
+    for _ in range(24):
+        delta.record_aap(2, 1)
+
+    def loop(n: int) -> None:
+        for _ in range(n):
+            pmu.record_dispatch(module_id, 2, delta,
+                                kernel=f"{GATE_OP}@{GATE_WIDTH}",
+                                latency_ns=1800.0, energy_nj=95.0)
+            pmu.record_transposition(module_id, LANES_PER_REQUEST)
+            pmu.record_transposition(module_id, LANES_PER_REQUEST)
+            pmu.record_boundary(module_id, 1800.0,
+                                io_bits=LANES_PER_REQUEST)
+            pmu.record_boundary(module_id, 120.0)
+            pmu.attribute("bench", GATE_OP,
+                          lanes=LANES_PER_REQUEST, energy_nj=95.0)
+
+    return _best(loop, PMU_ITERS)
+
+
+def time_flight_event() -> float:
+    """Seconds per flight-recorder ``record`` call on a full ring (the
+    steady state: every append also evicts), without a spill file —
+    the in-process configuration every serve request hits."""
+    recorder = FlightRecorder(capacity=4096, source="bench")
+
+    def loop(n: int) -> None:
+        for i in range(n):
+            recorder.record("bench.event", request=i,
+                            tenant="bench", lanes=LANES_PER_REQUEST)
+
+    return _best(loop, FLIGHT_ITERS)
+
+
 def serve_once(tracer: Tracer) -> float:
     """Wall seconds to serve the packed workload under ``tracer``."""
     rng = np.random.default_rng(17)
@@ -143,10 +203,13 @@ def serve_once(tracer: Tracer) -> float:
 
 
 def run_gate(max_off_overhead: float = 0.02,
-             max_on_overhead: float = 0.10) -> dict:
-    """Measure both overheads; returns the section for bench_ci.json."""
+             max_on_overhead: float = 0.10,
+             max_pmu_flight_overhead: float = 0.05) -> dict:
+    """Measure the overheads; returns the section for bench_ci.json."""
     noop_s = time_noop_site()
     tree_s = time_traced_request()
+    pmu_s = time_pmu_request()
+    flight_s = time_flight_event()
 
     # Discarded warm-up: the first serve run of a process is markedly
     # faster (cold allocator arenas, caches) and would otherwise skew
@@ -158,14 +221,20 @@ def run_gate(max_off_overhead: float = 0.02,
     per_request_s = min(off_walls) / N_REQUESTS
     off_overhead = SITES_PER_REQUEST * noop_s / per_request_s
     on_overhead = tree_s / per_request_s
+    pmu_flight_overhead = (
+        pmu_s + FLIGHT_EVENTS_PER_REQUEST * flight_s) / per_request_s
 
     gate_pass = (off_overhead <= max_off_overhead
-                 and on_overhead <= max_on_overhead)
+                 and on_overhead <= max_on_overhead
+                 and pmu_flight_overhead <= max_pmu_flight_overhead)
     print(f"noop site: {noop_s * 1e9:7.1f} ns x {SITES_PER_REQUEST} "
           f"sites -> {off_overhead:.3%} of a "
           f"{per_request_s * 1e3:.2f} ms request")
     print(f"traced request work: {tree_s * 1e6:.1f} us "
           f"-> {on_overhead:.2%} of a request")
+    print(f"pmu hooks {pmu_s * 1e6:.2f} us + flight events "
+          f"{FLIGHT_EVENTS_PER_REQUEST} x {flight_s * 1e9:.0f} ns "
+          f"-> {pmu_flight_overhead:.3%} of a request (always on)")
     print(f"serve wall (informational): "
           f"off {min(off_walls) * 1e3:.1f} ms, "
           f"on {min(on_walls) * 1e3:.1f} ms")
@@ -177,6 +246,9 @@ def run_gate(max_off_overhead: float = 0.02,
         "noop_site_ns": noop_s * 1e9,
         "sites_per_request": SITES_PER_REQUEST,
         "traced_request_us": tree_s * 1e6,
+        "pmu_request_us": pmu_s * 1e6,
+        "flight_event_ns": flight_s * 1e9,
+        "flight_events_per_request": FLIGHT_EVENTS_PER_REQUEST,
         "per_request_ms": per_request_s * 1e3,
         "wall_seconds_off": off_walls,
         "wall_seconds_on": on_walls,
@@ -185,11 +257,16 @@ def run_gate(max_off_overhead: float = 0.02,
             "measured_off_overhead": off_overhead,
             "required_on_overhead": max_on_overhead,
             "measured_on_overhead": on_overhead,
+            "required_pmu_flight_overhead": max_pmu_flight_overhead,
+            "measured_pmu_flight_overhead": pmu_flight_overhead,
             "pass": gate_pass,
             "detail": (f"tracing off costs {off_overhead:.3%} per "
                        f"request (required <= {max_off_overhead:.0%}); "
                        f"tracing on costs {on_overhead:.1%} "
-                       f"(required <= {max_on_overhead:.0%})"),
+                       f"(required <= {max_on_overhead:.0%}); "
+                       f"always-on PMU + flight recorder cost "
+                       f"{pmu_flight_overhead:.3%} (required <= "
+                       f"{max_pmu_flight_overhead:.0%})"),
         },
     }
 
@@ -204,9 +281,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-on-overhead", type=float, default=0.10,
                         help="allowed per-request cost of enabled "
                              "tracing (fraction)")
+    parser.add_argument("--max-pmu-flight-overhead", type=float,
+                        default=0.05,
+                        help="allowed combined per-request cost of the "
+                             "always-on PMU hooks and flight recorder "
+                             "(fraction)")
     args = parser.parse_args(argv)
     return publish(args.output, GATE_NAME,
-                   run_gate(args.max_off_overhead, args.max_on_overhead))
+                   run_gate(args.max_off_overhead, args.max_on_overhead,
+                            args.max_pmu_flight_overhead))
 
 
 if __name__ == "__main__":

@@ -293,6 +293,15 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
             for handle, (op, a, b) in zip(handles, requests))
         stats = service.stats()
 
+    postmortem_path = None
+    if args.postmortem:
+        # Dumped after close(): cleanly-stopped replicas shipped their
+        # rings home, a killed one was recovered from its spill file —
+        # the merged JSON is the drill's black box.
+        from repro.obs.flightrec import get_flight_recorder
+        postmortem_path = get_flight_recorder().dump_to(
+            args.postmortem, reason="serve-cluster drill")
+
     tier = stats["replica_tier"]
     rows = [
         ("replicas (alive at end)",
@@ -311,6 +320,8 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
                      f"{counters['dispatches']} dispatches, "
                      f"{counters['requests']} requests"))
     rows.extend(_write_trace(tracer, trace_path))
+    if postmortem_path:
+        rows.append(("flight-recorder postmortem", postmortem_path))
     print(format_table(
         ["metric", "value"], rows,
         title=f"{args.requests} requests over {args.replicas} replica "
@@ -328,10 +339,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     generous, one is already lapsed) so the SLO series — goodput, shed
     counts, on-time splits — and the modeled energy histogram all show
     real values.  With ``--requests 0`` no traffic runs at all and the
-    scrape demonstrates the schema-stable zero-valued series."""
+    scrape demonstrates the schema-stable zero-valued series.
+
+    ``--watch N`` re-scrapes and re-prints every N seconds (bound the
+    run with ``--frames``), reusing the ``repro top`` refresh loop."""
     import json
 
     from repro.errors import DeadlineExceeded
+    from repro.obs.dashboard import refresh_loop
     from repro.obs.metrics import MetricsRegistry
     from repro.runtime import SimdramCluster
     from repro.serve import ServeConfig, SimdramService
@@ -366,13 +381,113 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 handle.result(120)
             except DeadlineExceeded:
                 pass   # the intentionally lapsed request
-        if args.json:
-            print(json.dumps(registry.snapshot(), indent=2,
-                             sort_keys=True, default=float))
+        def scrape(_frame: int) -> str:
+            if args.json:
+                return json.dumps(registry.snapshot(), indent=2,
+                                  sort_keys=True, default=float)
+            return service.prometheus()
+
+        if args.watch is not None:
+            refresh_loop(scrape, interval_s=args.watch,
+                         frames=args.frames, screen="plain")
         else:
-            print(service.prometheus(), end="")
+            print(scrape(0), end="" if not args.json else "\n")
     for label, detail in _write_trace(tracer, trace_path):
         print(f"# {label}: {detail}", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live observability dashboard over a synthetic serve workload.
+
+    Each frame submits a small batch, waits for it, evaluates the SLO
+    burn-rate rules and renders one ``repro top`` screen (curses on a
+    terminal, plain text otherwise).  ``--scenario collapse`` walks
+    warm → goodput collapse (every deadline already lapsed, so all
+    requests shed) → recovery, which fires and then resolves the
+    ``goodput_floor`` alert on screen.  Alert windows advance one tick
+    per frame, so the scenario is deterministic at any ``--interval``.
+    """
+    from repro.errors import DeadlineExceeded
+    from repro.obs.alerts import AlertManager, default_rules
+    from repro.obs.dashboard import collect_view, refresh_loop, render_top
+    from repro.obs.flightrec import get_flight_recorder
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.pmu import get_pmu
+    from repro.runtime import SimdramCluster
+    from repro.serve import ServeConfig, SimdramService
+
+    geometry = DramGeometry.sim_small(
+        cols=args.cols, data_rows=256, banks=2)
+    config = SimdramConfig(geometry=geometry)
+    rng = np.random.default_rng(args.seed)
+    registry = MetricsRegistry()
+    # Burn windows are sized in frame ticks (evaluate(now=frame)), not
+    # wall seconds: 1.5 ticks short / 3.5 ticks long means "two points"
+    # and "four points" regardless of how long a frame really takes.
+    manager = AlertManager(registry, default_rules(
+        goodput_floor_rps=args.goodput_floor,
+        p99_ceiling_ms=1000.0,
+        shed_rate_max=0.5,
+        occupancy_floor=1e-9,
+        short_s=1.5, long_s=3.5))
+
+    third = max(3, (args.frames or 12) // 3)
+
+    def phase_of(frame: int) -> str:
+        if args.scenario != "collapse":
+            return "steady"
+        if frame < third:
+            return "warm"
+        if frame < 2 * third:
+            return "collapse"
+        return "recover"
+
+    ops = ("add", "sub", "min")
+    with SimdramCluster(2, config=config) as cluster, \
+            SimdramService(cluster,
+                           ServeConfig(max_wait_s=0.002, slo_aware=True),
+                           tenants={"alpha": 2.0, "beta": 1.0},
+                           registry=registry) as service:
+
+        def frame(index: int) -> str:
+            phase = phase_of(index)
+            handles = []
+            for j in range(args.batch):
+                n = int(rng.integers(2, 9))
+                a = rng.integers(0, 1 << args.width, n)
+                b = rng.integers(0, 1 << args.width, n)
+                deadline_s = 0.0 if phase == "collapse" else 30.0
+                handles.append(service.submit(
+                    ops[j % len(ops)], a, b, width=args.width,
+                    tenant=("alpha", "beta")[j % 2],
+                    deadline_s=deadline_s))
+            for handle in handles:
+                try:
+                    handle.result(120)
+                except DeadlineExceeded:
+                    pass   # the collapse phase sheds everything
+            manager.evaluate(now=float(index))
+            return render_top(collect_view(
+                service.stats(), alerts=manager, pmu=get_pmu(),
+                recorder=get_flight_recorder(),
+                title=f"repro top · {args.scenario}:{phase}"))
+
+        refresh_loop(frame, interval_s=args.interval,
+                     frames=args.frames,
+                     screen="plain" if args.plain else "auto")
+
+    if manager.events:
+        print("alert transitions:")
+        for event in manager.events:
+            print(f"  {event}")
+    if args.scenario == "collapse" and args.frames:
+        fired = any(e.rule == "goodput_floor" and e.state == "firing"
+                    for e in manager.events)
+        resolved = any(e.rule == "goodput_floor"
+                       and e.state == "resolved"
+                       for e in manager.events)
+        return 0 if fired and resolved else 1
     return 0
 
 
@@ -564,6 +679,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Chrome/Perfetto trace of "
                                 "every request to PATH (tracks per "
                                 "replica process)")
+    sc_parser.add_argument("--postmortem", metavar="PATH",
+                           help="write the merged flight-recorder dump "
+                                "(all replica black boxes) to PATH "
+                                "after the run")
 
     ss_parser = sub.add_parser(
         "serve-stream",
@@ -600,6 +719,39 @@ def build_parser() -> argparse.ArgumentParser:
                                    "Prometheus text")
     stats_parser.add_argument("--trace-out", metavar="PATH",
                               help="also write a Chrome/Perfetto trace")
+    stats_parser.add_argument("--watch", type=float, metavar="N",
+                              help="re-scrape and re-print every N "
+                                   "seconds instead of printing once")
+    stats_parser.add_argument("--frames", type=int,
+                              help="with --watch: stop after this many "
+                                   "scrapes (default: until ^C)")
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live dashboard: serving stats, PMU bars, burn-rate "
+             "alerts and the flight-recorder tail")
+    top_parser.add_argument("--scenario", default="steady",
+                            choices=("steady", "collapse"),
+                            help="collapse walks warm -> all-deadlines-"
+                                 "lapsed -> recovery to fire and "
+                                 "resolve the goodput_floor alert")
+    top_parser.add_argument("--frames", type=int,
+                            help="frames to render (default: until ^C "
+                                 "or q; collapse phases are thirds of "
+                                 "this)")
+    top_parser.add_argument("--interval", type=float, default=0.5,
+                            help="seconds between frames")
+    top_parser.add_argument("--batch", type=int, default=6,
+                            help="requests submitted per frame")
+    top_parser.add_argument("--goodput-floor", type=float, default=1.0,
+                            help="goodput_floor alert threshold "
+                                 "(on-time completions per tick)")
+    top_parser.add_argument("--width", type=int, default=8)
+    top_parser.add_argument("--cols", type=int, default=32)
+    top_parser.add_argument("--seed", type=int, default=0)
+    top_parser.add_argument("--plain", action="store_true",
+                            help="never use curses; append plain-text "
+                                 "frames (good for piping)")
     return parser
 
 
@@ -613,6 +765,7 @@ _HANDLERS = {
     "serve-cluster": _cmd_serve_cluster,
     "serve-stream": _cmd_serve_stream,
     "stats": _cmd_stats,
+    "top": _cmd_top,
 }
 
 

@@ -16,6 +16,7 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.rows import RowAddress
 from repro.dram.subarray import N_B_PLANES, Subarray
 from repro.errors import GeometryError
+from repro.obs.pmu import get_pmu
 
 
 class Bank:
@@ -77,6 +78,10 @@ class DramModule:
                            data_storage=self._data_state[i],
                            b_storage=self._b_state[i])
                       for i in range(geometry.banks)]
+        #: Device-PMU registration: per-bank counter rows for this
+        #: module live under this id (see :mod:`repro.obs.pmu`).
+        self.pmu_id = get_pmu().register_module(
+            geometry.banks, self.lanes)
 
     @property
     def lanes(self) -> int:
@@ -154,6 +159,7 @@ class DramModule:
                 f"striped row must have {self.lanes} bits, got {bits.shape}")
         for i, bank in enumerate(self.banks):
             bank.subarray.write_row(address, bits[i * cols:(i + 1) * cols])
+        get_pmu().record_transposition(self.pmu_id, self.lanes)
 
     def read_striped(self, address: RowAddress) -> np.ndarray:
         """Read a logical row of ``lanes`` bits, striped across banks."""
@@ -161,4 +167,5 @@ class DramModule:
         out = np.empty(self.lanes, dtype=bool)
         for i, bank in enumerate(self.banks):
             out[i * cols:(i + 1) * cols] = bank.subarray.read_row(address)
+        get_pmu().record_transposition(self.pmu_id, self.lanes)
         return out

@@ -27,13 +27,22 @@ from dataclasses import dataclass
 
 from repro.dram.bank import DramModule
 from repro.dram.commands import CommandStats
+from repro.dram.energy import DramEnergy
 from repro.dram.subarray import Subarray
+from repro.dram.timing import DramTiming
 from repro.errors import EngineError, ExecutionError
 from repro.exec.engines import ExecutionEngine, get_engine, resolve_engine
 from repro.exec.layout import RowLayout
 from repro.exec.plan import ExecutionPlan, compile_plan
+from repro.obs.pmu import get_pmu
 from repro.uprog.program import MicroProgram
 from repro.uprog.uops import UAap, UAp
+
+#: Reference timing/energy model for the PMU's latency/nJ samples —
+#: fixed (DDR4-2400) so counters stay comparable across dispatch
+#: paths that carry no timing config of their own.
+_PMU_TIMING = DramTiming.ddr4_2400()
+_PMU_ENERGY = DramEnergy.ddr4()
 
 #: Default scratchpad capacity in µOps.  The paper stores each operation's
 #: µProgram in a small memory inside the controller; we size it generously
@@ -218,9 +227,13 @@ class ControlUnit:
         resolved = resolve_engine(resolved, vectorizable=vectorizable)
         if not resolved.executes_plans:
             stats = CommandStats()
+            first = None
             for bank in banks:
-                stats = stats.merged_with(
-                    self.execute(program, bank.subarray, layout))
+                delta = self.execute(program, bank.subarray, layout)
+                if first is None:
+                    first = delta
+                stats = stats.merged_with(delta)
+            self._note_dispatch(module, len(banks), first, program)
             return stats
 
         plan = self.plan_for(program, layout, module.geometry)
@@ -231,4 +244,22 @@ class ControlUnit:
         # leaves identical accounting state.
         for bank in banks:
             bank.subarray.stats.accumulate(plan.per_bank_stats)
+        self._note_dispatch(module, len(banks), plan.per_bank_stats,
+                            program)
         return plan.per_bank_stats.scaled(len(banks))
+
+    @staticmethod
+    def _note_dispatch(module: DramModule, n_banks: int,
+                       per_bank: "CommandStats | None",
+                       program: MicroProgram) -> None:
+        """Device-PMU dispatch sample: banks run in lockstep, so one
+        bank's delta describes every participant."""
+        pmu_id = getattr(module, "pmu_id", None)
+        if pmu_id is None or per_bank is None:
+            return
+        get_pmu().record_dispatch(
+            pmu_id, n_banks, per_bank,
+            kernel=f"{program.op_name}@{program.element_width}",
+            latency_ns=per_bank.latency_ns(_PMU_TIMING),
+            energy_nj=n_banks * per_bank.energy_nj(
+                _PMU_TIMING, module.geometry, _PMU_ENERGY))

@@ -15,14 +15,26 @@ The subsystem has four small parts:
   collectors that adapt the legacy ``ServeMetrics``/``CommandStats``
   surfaces;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and,
-  via the registry, Prometheus text exposition.
+  via the registry, Prometheus text exposition;
+* :mod:`repro.obs.pmu` — the device PMU: per-bank counter banks fed
+  at dispatch boundaries, exported as ``repro_pmu_*``;
+* :mod:`repro.obs.flightrec` — the always-on flight recorder (bounded
+  event ring, crash spill files, merged postmortem dumps);
+* :mod:`repro.obs.alerts` — SLO burn-rate rules over the registry;
+* :mod:`repro.obs.dashboard` — the ``repro top`` renderer and the
+  shared ``refresh_loop`` that ``stats --watch`` reuses.
 """
 
 from . import clock
+from .alerts import (AlertEvent, AlertManager, AlertRule, MetricsView,
+                     default_rules)
+from .dashboard import collect_view, refresh_loop, render_top
 from .export import chrome_trace_dict, chrome_trace_events, \
     write_chrome_trace
+from .flightrec import FlightRecorder, get_flight_recorder, postmortem
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, Sample,
                       get_registry)
+from .pmu import DevicePmu, get_pmu
 from .tracing import (NOOP_SPAN, Span, Tracer, current_span, get_tracer,
                       span, use_span)
 
@@ -33,4 +45,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "Sample",
     "get_registry",
     "chrome_trace_dict", "chrome_trace_events", "write_chrome_trace",
+    "DevicePmu", "get_pmu",
+    "FlightRecorder", "get_flight_recorder", "postmortem",
+    "AlertRule", "AlertManager", "AlertEvent", "MetricsView",
+    "default_rules",
+    "render_top", "collect_view", "refresh_loop",
 ]

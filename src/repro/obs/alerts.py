@@ -1,0 +1,335 @@
+"""SLO burn-rate alerting over the metrics registry.
+
+Declarative :class:`AlertRule`\\ s are evaluated by an
+:class:`AlertManager` against registry scrapes using the multi-window
+burn-rate pattern: a rule fires only when its *burn* (how hard the
+sampled value breaches the threshold) is sustained over BOTH a short
+and a long window — the short window gives fast detection, the long
+window suppresses blips.  Resolution is driven by the short window
+alone (fast recovery) with hysteresis via ``resolve_burn``.
+
+Three sampling modes cover the SLO families this repo exports:
+
+* ``"value"`` — instantaneous gauges (p99 latency, PMU occupancy):
+  the windowed burn is the mean breach ratio of the samples inside
+  the window.
+* ``"rate"`` — cumulative counters read as per-second rates (goodput
+  from ``repro_serve_slo_requests_total{state="on_time"}``): the
+  windowed value is the counter delta over the window divided by the
+  wall time it spans.
+* ``"ratio"`` — a pair of cumulative counters read as a windowed
+  fraction (shed rate = shed Δ / submitted Δ).
+
+Rules sample through a :class:`MetricsView` (an indexed registry
+scrape), so anything a collector exports can drive an alert.
+Transitions notify subscribers and are flight-recorded
+(``alert.fire`` / ``alert.resolve``), which is how ``repro top``
+shows them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs import clock
+from repro.obs.flightrec import get_flight_recorder
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+_EPS = 1e-9
+
+
+class MetricsView:
+    """One registry scrape, indexed by sample name for rule lambdas."""
+
+    def __init__(self, samples) -> None:
+        self._index: "dict[str, list]" = {}
+        for sample in samples:
+            self._index.setdefault(sample.name, []).append(
+                (dict(sample.labels), sample.value))
+
+    def _matching(self, name: str, labels: dict):
+        for have, value in self._index.get(name, ()):
+            if all(have.get(k) == v for k, v in labels.items()):
+                yield value
+
+    def value(self, name: str, default=None, **labels):
+        """First sample of ``name`` whose labels contain ``labels``."""
+        for value in self._matching(name, labels):
+            return value
+        return default
+
+    def sum(self, name: str, **labels) -> "float | None":
+        values = list(self._matching(name, labels))
+        return sum(values) if values else None
+
+    def max(self, name: str, **labels) -> "float | None":
+        values = list(self._matching(name, labels))
+        return max(values) if values else None
+
+
+@dataclass
+class AlertRule:
+    """One declarative burn-rate rule.
+
+    ``sample(view)`` returns the current observation — a float for
+    ``value``/``rate`` mode, a ``(numerator, denominator)`` pair for
+    ``ratio`` mode, or ``None`` when the rule does not apply yet
+    (no traffic, no replicas, ...).
+    """
+
+    name: str
+    sample: "callable"
+    threshold: float
+    kind: str = "ceiling"           # "ceiling" | "floor"
+    mode: str = "value"             # "value" | "rate" | "ratio"
+    short_s: float = 1.0
+    long_s: float = 5.0
+    fire_burn: float = 1.0
+    resolve_burn: float = 0.9
+    description: str = ""
+
+    def breach(self, value: float) -> float:
+        """Burn ratio: > 1 means the threshold is being violated."""
+        if self.kind == "floor":
+            return self.threshold / max(value, _EPS)
+        return value / max(self.threshold, _EPS)
+
+
+@dataclass
+class AlertEvent:
+    """One firing/resolution transition, handed to subscribers."""
+
+    rule: str
+    state: str                      # "firing" | "resolved"
+    value: "float | None"
+    burn_short: "float | None"
+    burn_long: "float | None"
+    at: float
+    description: str = ""
+
+    def __str__(self) -> str:
+        burn = ("" if self.burn_short is None
+                else f" (burn {self.burn_short:.2f}/{self.burn_long:.2f})")
+        return f"[{self.state.upper()}] {self.rule}{burn}"
+
+
+@dataclass
+class AlertState:
+    rule: AlertRule
+    firing: bool = False
+    since: "float | None" = None
+    last_value: "float | None" = None
+    burn_short: "float | None" = None
+    burn_long: "float | None" = None
+    history: deque = field(default_factory=deque)
+
+
+class AlertManager:
+    """Evaluates rules against a registry; notifies on transitions."""
+
+    def __init__(self, registry: "MetricsRegistry | None" = None,
+                 rules=()) -> None:
+        self.registry = registry or get_registry()
+        self._lock = threading.Lock()
+        self._states: "dict[str, AlertState]" = {}
+        self._subscribers: "list" = []
+        self.events: "list[AlertEvent]" = []
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: AlertRule) -> None:
+        with self._lock:
+            self._states[rule.name] = AlertState(rule=rule)
+
+    def subscribe(self, fn) -> None:
+        """``fn(event)`` is called on every fire/resolve transition."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _window(history, now: float, window_s: float):
+        """The history points inside ``[now - window_s, now]``."""
+        return [point for point in history
+                if point[0] >= now - window_s - _EPS]
+
+    def _burn(self, state: AlertState, now: float,
+              window_s: float) -> "float | None":
+        rule = state.rule
+        points = self._window(state.history, now, window_s)
+        if not points:
+            return None
+        if rule.mode == "value":
+            mean = sum(p[1] for p in points) / len(points)
+            return rule.breach(mean)
+        if rule.mode == "rate":
+            t0, c0 = points[0]
+            t1, c1 = points[-1]
+            if t1 - t0 <= _EPS:
+                return None
+            return rule.breach((c1 - c0) / (t1 - t0))
+        # ratio: payload is (numerator, denominator) cumulative pairs
+        _, (num0, den0) = points[0]
+        _, (num1, den1) = points[-1]
+        if den1 - den0 <= _EPS:
+            return None
+        return rule.breach((num1 - num0) / (den1 - den0))
+
+    def evaluate(self, now: "float | None" = None
+                 ) -> "list[AlertEvent]":
+        """One evaluation tick: scrape, sample every rule, update burn
+        windows, emit transition events."""
+        if now is None:
+            now = clock.now()
+        view = MetricsView(self.registry.collect())
+        transitions: "list[AlertEvent]" = []
+        with self._lock:
+            states = list(self._states.values())
+            subscribers = list(self._subscribers)
+        for state in states:
+            rule = state.rule
+            try:
+                observed = rule.sample(view)
+            except Exception:
+                observed = None
+            if observed is None:
+                continue
+            horizon = now - max(rule.long_s, rule.short_s) * 2 - 1.0
+            state.history.append((now, observed))
+            while state.history and state.history[0][0] < horizon:
+                state.history.popleft()
+            state.last_value = (observed if rule.mode != "ratio"
+                                else None)
+            burn_short = self._burn(state, now, rule.short_s)
+            burn_long = self._burn(state, now, rule.long_s)
+            state.burn_short, state.burn_long = burn_short, burn_long
+            event = None
+            if (not state.firing and burn_short is not None
+                    and burn_long is not None
+                    and burn_short >= rule.fire_burn
+                    and burn_long >= rule.fire_burn):
+                state.firing, state.since = True, now
+                event = AlertEvent(rule.name, "firing",
+                                   state.last_value, burn_short,
+                                   burn_long, now, rule.description)
+            elif (state.firing and burn_short is not None
+                  and burn_short < rule.resolve_burn):
+                state.firing, state.since = False, now
+                event = AlertEvent(rule.name, "resolved",
+                                   state.last_value, burn_short,
+                                   burn_long, now, rule.description)
+            if event is not None:
+                transitions.append(event)
+                get_flight_recorder().record(
+                    f"alert.{'fire' if event.state == 'firing' else 'resolve'}",
+                    rule=event.rule, value=event.value,
+                    burn_short=event.burn_short,
+                    burn_long=event.burn_long)
+                for fn in subscribers:
+                    try:
+                        fn(event)
+                    except Exception:
+                        pass
+        self.events.extend(transitions)
+        return transitions
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def state(self, name: str) -> "AlertState | None":
+        with self._lock:
+            return self._states.get(name)
+
+    def active(self) -> "list[AlertState]":
+        with self._lock:
+            return [s for s in self._states.values() if s.firing]
+
+    def rules(self) -> "list[AlertRule]":
+        with self._lock:
+            return [s.rule for s in self._states.values()]
+
+
+# ----------------------------------------------------------------------
+# the stock rule set
+# ----------------------------------------------------------------------
+def _goodput_sample(view: MetricsView):
+    carrying = view.value("repro_serve_slo_requests_total",
+                          state="with_deadline")
+    if not carrying:
+        return None
+    return view.value("repro_serve_slo_requests_total", state="on_time")
+
+
+def _p99_sample(view: MetricsView):
+    done = view.value("repro_serve_requests_total", state="completed")
+    if not done:
+        return None
+    return view.value("repro_serve_latency_ms", quantile="p99")
+
+
+def _shed_sample(view: MetricsView):
+    submitted = view.value("repro_serve_requests_total",
+                           state="submitted")
+    shed = view.value("repro_serve_requests_total", state="shed")
+    if submitted is None or shed is None:
+        return None
+    return (shed, submitted)
+
+
+def _rtt_sample(view: MetricsView):
+    return view.max("repro_replica_rtt_avg_seconds")
+
+
+def _occupancy_sample(view: MetricsView):
+    if not view.value("repro_pmu_dispatches_total"):
+        return None
+    return view.max("repro_pmu_window_utilization")
+
+
+def default_rules(*, goodput_floor_rps: "float | None" = None,
+                  p99_ceiling_ms: "float | None" = None,
+                  shed_rate_max: "float | None" = None,
+                  rtt_ceiling_s: "float | None" = None,
+                  occupancy_floor: "float | None" = None,
+                  short_s: float = 1.0,
+                  long_s: float = 5.0) -> "list[AlertRule]":
+    """The stock SLO rule set; pass a threshold to enable each rule."""
+    rules: "list[AlertRule]" = []
+    if goodput_floor_rps is not None:
+        rules.append(AlertRule(
+            "goodput_floor", _goodput_sample, goodput_floor_rps,
+            kind="floor", mode="rate", short_s=short_s, long_s=long_s,
+            description="windowed on-time completions per second "
+                        "under the goodput floor"))
+    if p99_ceiling_ms is not None:
+        rules.append(AlertRule(
+            "p99_ceiling", _p99_sample, p99_ceiling_ms,
+            kind="ceiling", mode="value", short_s=short_s,
+            long_s=long_s,
+            description="p99 request latency above the SLO ceiling"))
+    if shed_rate_max is not None:
+        rules.append(AlertRule(
+            "shed_rate", _shed_sample, shed_rate_max,
+            kind="ceiling", mode="ratio", short_s=short_s,
+            long_s=long_s,
+            description="fraction of submissions shed on lapsed "
+                        "deadlines"))
+    if rtt_ceiling_s is not None:
+        rules.append(AlertRule(
+            "replica_rtt", _rtt_sample, rtt_ceiling_s,
+            kind="ceiling", mode="value", short_s=short_s,
+            long_s=long_s,
+            description="slowest replica heartbeat RTT (EMA) above "
+                        "ceiling"))
+    if occupancy_floor is not None:
+        rules.append(AlertRule(
+            "pmu_occupancy_collapse", _occupancy_sample,
+            occupancy_floor, kind="floor", mode="value",
+            short_s=short_s, long_s=long_s,
+            description="device utilization collapsed while the "
+                        "service is nominally serving"))
+    return rules

@@ -1,0 +1,242 @@
+"""Always-on flight recorder: a bounded ring of structured events.
+
+Every process keeps a lock-cheap ring buffer of the last few thousand
+structured events — admissions, dispatches, shed decisions, failovers,
+PMU deltas, span edges.  In steady state it costs one dict build and a
+deque append per event; when something dies the ring is the black box.
+
+Cross-process story (the replica tier):
+
+* replica children configure a *spill file* via
+  :meth:`FlightRecorder.configure_spill`; every recorded event
+  rewrites it (atomic tmp+rename), so the file on disk is always the
+  child's current ring.  SIGKILL cannot be trapped — continuous
+  spilling is what makes the kill drill observable.
+* on clean exit a child ships its ring home over the control pipe and
+  removes the spill; the parent folds it in via
+  :meth:`FlightRecorder.adopt_segment`.
+* when the parent buries a crashed replica it reads the leftover
+  spill file (:meth:`FlightRecorder.adopt_spill_file`).
+
+:meth:`FlightRecorder.dump` merges the local ring with every adopted
+segment into one time-sorted postmortem dict;
+:meth:`FlightRecorder.dump_to` writes it as JSON (the CI failure
+artifact and the ``--postmortem`` output of the kill drill).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+
+from repro.obs import clock
+
+#: Ring capacity: small enough to merge and read, large enough to
+#: cover the final seconds of a busy process.
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured events.
+
+    ``record()`` is the hot path: one timestamp, one dict, one
+    lock-guarded append.  Everything else (snapshots, adoption,
+    dumps) is cold postmortem machinery.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 source: str = "main") -> None:
+        self.capacity = int(capacity)
+        self.source = source
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=self.capacity)
+        self.n_recorded = 0
+        #: Segments adopted from other processes, keyed by source.
+        self._segments: "dict[str, dict]" = {}
+        self._spill_path: "str | None" = None
+        self._spill_every = 1
+        self._since_spill = 0
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; never raises (a broken spill disk must
+        not take down the serving path)."""
+        event = {"t": clock.now(), "kind": kind}
+        if fields:
+            event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            self.n_recorded += 1
+            spill = False
+            if self._spill_path is not None:
+                self._since_spill += 1
+                if self._since_spill >= self._spill_every:
+                    self._since_spill = 0
+                    spill = True
+        if spill:
+            try:
+                self._write_spill()
+            except OSError:
+                pass
+
+    @property
+    def n_dropped(self) -> int:
+        """Events evicted from the ring by newer ones."""
+        with self._lock:
+            return max(0, self.n_recorded - len(self._events))
+
+    # ------------------------------------------------------------------
+    # spill files (replica children)
+    # ------------------------------------------------------------------
+    def configure_spill(self, path: str, every: int = 1) -> None:
+        """Continuously mirror the ring to ``path`` — every ``every``
+        events (1 == after each record, the crash-safe default)."""
+        with self._lock:
+            self._spill_path = path
+            self._spill_every = max(1, int(every))
+            self._since_spill = 0
+
+    def _write_spill(self) -> None:
+        path = self._spill_path
+        if path is None:
+            return
+        payload = self.snapshot()
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    def spill_now(self) -> None:
+        """Force a spill write (used right before risky sections)."""
+        if self._spill_path is not None:
+            try:
+                self._write_spill()
+            except OSError:
+                pass
+
+    def remove_spill(self) -> None:
+        """Delete the spill file (clean exit: the ring ships home over
+        the pipe instead)."""
+        with self._lock:
+            path, self._spill_path = self._spill_path, None
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # snapshots and segment adoption
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Picklable/JSONable copy of this process's ring."""
+        with self._lock:
+            events = list(self._events)
+            recorded = self.n_recorded
+        return {"source": self.source, "pid": os.getpid(),
+                "n_recorded": recorded,
+                "n_dropped": max(0, recorded - len(events)),
+                "events": events}
+
+    def events(self) -> "list[dict]":
+        with self._lock:
+            return list(self._events)
+
+    def adopt_segment(self, payload: dict,
+                      source: "str | None" = None) -> None:
+        """Fold another process's :meth:`snapshot` into future dumps
+        (later segments from the same source replace earlier ones)."""
+        if not isinstance(payload, dict) or "events" not in payload:
+            return
+        key = source or payload.get("source") or "unknown"
+        with self._lock:
+            self._segments[str(key)] = payload
+
+    def adopt_spill_file(self, path: str,
+                         source: "str | None" = None) -> bool:
+        """Adopt a crashed process's spill file; ``False`` when the
+        file is missing or unreadable."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        self.adopt_segment(payload, source=source)
+        return True
+
+    def segments(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._segments)
+
+    # ------------------------------------------------------------------
+    # postmortem dumps
+    # ------------------------------------------------------------------
+    def dump(self, reason: str = "") -> dict:
+        """Merge the local ring and every adopted segment into one
+        postmortem: segments keyed by source, plus a single
+        time-sorted event list with each event tagged ``source``."""
+        local = self.snapshot()
+        with self._lock:
+            segments = {key: dict(value)
+                        for key, value in self._segments.items()}
+        segments[local["source"]] = local
+        merged: "list[dict]" = []
+        for key, segment in segments.items():
+            for event in segment.get("events", ()):
+                tagged = dict(event)
+                tagged["source"] = key
+                merged.append(tagged)
+        merged.sort(key=lambda e: e.get("t", 0.0))
+        return {"reason": reason,
+                "generated_unix_time": clock.wall(),
+                "pid": os.getpid(),
+                "n_events": len(merged),
+                "segments": segments,
+                "events": merged}
+
+    def dump_to(self, path: "str | None" = None,
+                reason: str = "") -> str:
+        """Write :meth:`dump` as JSON; returns the path written."""
+        if path is None:
+            directory = os.environ.get("REPRO_FLIGHTREC_DIR",
+                                       ".flightrec")
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(
+                directory,
+                f"flightrec-{os.getpid()}-{self.n_recorded}.json")
+        else:
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.dump(reason), handle, indent=1,
+                      default=str)
+        return path
+
+    def clear(self) -> None:
+        """Forget everything (tests)."""
+        with self._lock:
+            self._events.clear()
+            self._segments.clear()
+            self.n_recorded = 0
+            self._since_spill = 0
+
+
+_GLOBAL_RECORDER = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-global flight recorder (every hook records here)."""
+    return _GLOBAL_RECORDER
+
+
+def postmortem(reason: str, path: "str | None" = None) -> "str | None":
+    """Best-effort postmortem dump of the global recorder; returns the
+    written path, or ``None`` when even that failed."""
+    try:
+        return get_flight_recorder().dump_to(path, reason=reason)
+    except OSError:
+        return None

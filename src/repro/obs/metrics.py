@@ -35,8 +35,11 @@ def _label_key(labels: "dict[str, str]") -> "tuple[tuple[str, str], ...]":
 def _format_labels(items: "tuple[tuple[str, str], ...]") -> str:
     if not items:
         return ""
+    # Prometheus text exposition: backslash must be escaped first,
+    # then the quote and the (otherwise row-breaking) newline.
     body = ",".join(
-        '%s="%s"' % (k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        '%s="%s"' % (k, v.replace("\\", "\\\\").replace('"', '\\"')
+                     .replace("\n", "\\n"))
         for k, v in items)
     return "{%s}" % body
 

@@ -29,6 +29,7 @@ from collections import deque
 from typing import Any, Iterator
 
 from . import clock
+from .flightrec import get_flight_recorder
 
 #: Children kept per span before further ones are counted but dropped;
 #: guards the serve loop against a runaway instrumentation site.
@@ -307,6 +308,11 @@ class Tracer:
         self._finished: "deque[Span]" = deque(maxlen=max_traces)
         self.n_started = 0
         self.n_unsampled = 0
+        #: Finished roots evicted from the bounded buffer unseen.
+        self.n_buffer_dropped = 0
+        #: Children discarded by the per-span ``MAX_CHILDREN`` cap,
+        #: accumulated over recorded trees.
+        self.n_child_dropped = 0
 
     # -- sampling ----------------------------------------------------------
     def _sampled(self) -> bool:
@@ -343,7 +349,26 @@ class Tracer:
 
     def _record(self, root: Span) -> None:
         with self._lock:
+            if (self.max_traces
+                    and len(self._finished) >= self.max_traces):
+                self.n_buffer_dropped += 1
             self._finished.append(root)
+            self.n_child_dropped += sum(
+                node.n_dropped for node in root.walk())
+        # Span edge → flight recorder: root completions are the
+        # black-box breadcrumb trail of the request pipeline.
+        duration = (root.t1 - root.t0
+                    if root.t1 is not None and root.t0 is not None
+                    else None)
+        get_flight_recorder().record("span.root", name=root.name,
+                                     duration_s=duration)
+
+    def drop_stats(self) -> "dict[str, int]":
+        """Silent-loss counters (exported as
+        ``repro_trace_dropped_total{reason=...}``)."""
+        with self._lock:
+            return {"buffer": self.n_buffer_dropped,
+                    "children": self.n_child_dropped}
 
     # -- consumption -------------------------------------------------------
     def finished_traces(self) -> "list[Span]":
@@ -363,6 +388,8 @@ class Tracer:
             self._acc = 0.0
             self.n_started = 0
             self.n_unsampled = 0
+            self.n_buffer_dropped = 0
+            self.n_child_dropped = 0
 
 
 #: Process-wide default tracer; disabled (and therefore free) unless a

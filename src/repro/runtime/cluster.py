@@ -39,6 +39,7 @@ from repro.core.operations import get_operation
 from repro.dram.commands import CommandStats
 from repro.errors import OperationError
 from repro.exec.engines import ExecutionEngine, get_engine
+from repro.obs.pmu import get_pmu
 from repro.obs.tracing import span as obs_span
 from repro.runtime.paging import PagingManager
 from repro.runtime.scheduler import JobScheduler, Subtask
@@ -216,6 +217,10 @@ class SimdramCluster:
                 + (after.host_bits_written - before.host_bits_written))
         io_ns = ((bits + 7) // 8) * timing.io_ns_per_byte()
         self.busy_ns[module_index] += compute_ns + io_ns
+        pmu_id = getattr(sim.module, "pmu_id", None)
+        if pmu_id is not None and (compute_ns or io_ns):
+            get_pmu().record_boundary(pmu_id, compute_ns + io_ns,
+                                      io_bits=bits)
 
     def makespan_ns(self) -> float:
         """Modeled wall time so far: modules are independent channels,

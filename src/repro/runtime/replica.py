@@ -38,7 +38,9 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import shutil
 import signal
+import tempfile
 import threading
 import time
 from concurrent.futures import Future
@@ -51,6 +53,7 @@ import numpy as np
 from repro.core.expr import Expr
 from repro.errors import OperationError, ReplicaError
 from repro.obs import clock
+from repro.obs.flightrec import get_flight_recorder
 from repro.obs.tracing import NOOP_SPAN, Span, current_span, use_span
 
 #: (offset, shape, dtype string) of one vector inside a shared segment.
@@ -244,7 +247,8 @@ def _detach_resource_tracker() -> None:
 
 
 def _replica_main(replica_id: int, conn, n_modules: int, config,
-                  manifest, seed: int | None) -> None:
+                  manifest, seed: int | None,
+                  spool_dir: "str | None" = None) -> None:
     """The child process: build a cluster, warm it, serve the pipe."""
     # The parent owns lifecycle; a ^C aimed at the parent's terminal
     # must not take the replicas down mid-failover.
@@ -253,6 +257,15 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
     except (ValueError, OSError):
         pass
     _detach_resource_tracker()
+    # Black box: this process's flight recorder continuously spills to
+    # the parent's spool directory.  SIGKILL cannot be trapped, so the
+    # spill file — rewritten after every event — is what survives a
+    # crash; on clean exit the ring ships home over the pipe instead.
+    recorder = get_flight_recorder()
+    recorder.source = f"replica-{replica_id}"
+    if spool_dir is not None:
+        recorder.configure_spill(
+            os.path.join(spool_dir, f"replica-{replica_id}.json"))
     from repro.runtime.cluster import SimdramCluster
     try:
         cluster = SimdramCluster(n_modules, config=config, seed=seed)
@@ -266,6 +279,8 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
     except BaseException as error:  # noqa: BLE001 - report, don't hang spawn
         conn.send(("spawn-error", replica_id, _sendable(error)))
         return
+    recorder.record("replica.ready", replica=replica_id,
+                    lanes=cluster.lanes, n_modules=n_modules)
     with cluster:
         while True:
             try:
@@ -274,15 +289,22 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
                 return  # parent went away; nothing left to serve
             tag = message[0]
             if tag == "stop":
+                recorder.record("replica.stop", replica=replica_id)
                 try:
-                    conn.send(("stopped", replica_id))
+                    # Clean exit: the ring ships home over the pipe
+                    # (older parents ignore the extra element).
+                    conn.send(("stopped", replica_id,
+                               recorder.snapshot()))
                 except (BrokenPipeError, OSError):
                     pass
+                recorder.remove_spill()
                 return
             if tag == "ping":
                 conn.send(("pong", message[1], _replica_info(cluster)))
             elif tag == "warm":
                 token, entries = message[1], message[2]
+                recorder.record("replica.warm", replica=replica_id,
+                                n_kernels=len(entries))
                 try:
                     n = _warm_manifest(cluster, entries)
                     conn.send(("warmed", token, n))
@@ -290,6 +312,9 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
                     conn.send(("warm-error", token, _sendable(error)))
             elif tag == "job":
                 job_id, desc, shm_name, metas = message[1:]
+                recorder.record("replica.job", replica=replica_id,
+                                job_id=job_id, op=desc.label(),
+                                width=desc.width)
                 # Local recording root for traced jobs: the replica's
                 # side of the request tree.  CLOCK_MONOTONIC is
                 # system-wide on Linux, so its timestamps line up with
@@ -327,7 +352,12 @@ def _replica_main(replica_id: int, conn, n_modules: int, config,
                     # before the parent learns the segment's name.
                     _untrack(out_shm)
                     out_shm.close()
+                    recorder.record("replica.job.done",
+                                    replica=replica_id, job_id=job_id)
                 except Exception as error:  # noqa: BLE001 - fail the one job
+                    recorder.record("replica.job.error",
+                                    replica=replica_id, job_id=job_id,
+                                    error=repr(error))
                     info = _replica_info(cluster)
                     if job_span.recording:
                         info["span"] = job_span.finish(error).to_dict()
@@ -427,6 +457,11 @@ class ReplicaSet:
         self._closing = False
         self.deaths = 0
 
+        #: Spool directory the children spill their flight-recorder
+        #: rings into; a crashed replica's leftover spill file is its
+        #: black box (adopted in :meth:`_mark_dead`).
+        self.spool_dir = tempfile.mkdtemp(prefix="repro-flightrec-")
+
         ctx = multiprocessing.get_context(start_method)
         self.replicas: list[ReplicaHandle] = []
         for i in range(n_replicas):
@@ -434,7 +469,8 @@ class ReplicaSet:
             process = ctx.Process(
                 target=_replica_main, name=f"simdram-replica-{i}",
                 args=(i, child_conn, n_modules, self.config, self.manifest,
-                      None if seed is None else seed + 7919 * i),
+                      None if seed is None else seed + 7919 * i,
+                      self.spool_dir),
                 daemon=True)
             process.start()
             child_conn.close()  # keep exactly one parent-side end open
@@ -684,6 +720,12 @@ class ReplicaSet:
                 if future is not None:
                     future.set_exception(message[2])
             elif tag == "stopped":
+                # Newer children attach their flight-recorder ring;
+                # fold it into this process's postmortem segments.
+                if len(message) > 2:
+                    get_flight_recorder().adopt_segment(
+                        message[2],
+                        source=f"replica-{replica.replica_id}")
                 break
 
     def _monitor_loop(self) -> None:
@@ -736,6 +778,21 @@ class ReplicaSet:
             replica.conn.close()
         except OSError:
             pass
+        # Recover the black box: a crashed child never shipped its
+        # ring home, but its continuously-rewritten spill file is on
+        # disk.  (A cleanly stopped child removed the file; adoption
+        # is simply a no-op then.)
+        recorder = get_flight_recorder()
+        spill = os.path.join(self.spool_dir,
+                             f"replica-{replica.replica_id}.json")
+        adopted = recorder.adopt_spill_file(
+            spill, source=f"replica-{replica.replica_id}")
+        if not closing:
+            recorder.record("replica.death",
+                            replica=replica.replica_id,
+                            pid=replica.process.pid,
+                            in_flight=len(jobs),
+                            black_box_recovered=adopted)
         error = ReplicaError(
             f"replica {replica.replica_id} died "
             f"(pid {replica.process.pid})")
@@ -823,6 +880,9 @@ class ReplicaSet:
         for thread in self._receivers:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
+        # Every replica is buried (spills adopted where they existed);
+        # the spool directory has served its purpose.
+        shutil.rmtree(self.spool_dir, ignore_errors=True)
 
     def __enter__(self) -> "ReplicaSet":
         return self

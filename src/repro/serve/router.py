@@ -45,6 +45,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import DeadlineExceeded, ReplicaError
+from repro.obs.flightrec import get_flight_recorder
 from repro.obs.metrics import Sample
 from repro.obs.tracing import span as obs_span
 from repro.obs.tracing import use_span
@@ -238,6 +239,9 @@ class ReplicaRouter:
         reusing each job's original future so callers never notice."""
         if self._metrics is not None:
             self._metrics.record_failover(replica_id, len(jobs))
+        get_flight_recorder().record(
+            "router.failover", replica=replica_id,
+            in_flight=len(jobs))
         for job in jobs:
             self._requeue(job)
 
@@ -276,6 +280,9 @@ class ReplicaRouter:
             retry_span.set(deadline_remaining_s=remaining)
             if remaining <= 0:
                 retry_span.fail("deadline lapsed during failover")
+                get_flight_recorder().record(
+                    "router.shed", job_id=job.job_id,
+                    lapsed_s=-remaining)
                 if not job.future.done():
                     job.future.set_exception(DeadlineExceeded(
                         f"request shed during failover: deadline "
@@ -307,6 +314,8 @@ class ReplicaRouter:
                 continue  # that one died too; scan again
             with self._lock:
                 self.n_requeued += 1
+            get_flight_recorder().record(
+                "router.requeue", job_id=job.job_id, target=target)
             return
 
     # ------------------------------------------------------------------

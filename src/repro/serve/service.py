@@ -49,6 +49,7 @@ Typical use::
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 import time
 from collections import deque
@@ -69,7 +70,9 @@ from repro.errors import (
 )
 from repro.exec.engines import ExecutionEngine, get_engine
 from repro.lazy.tensor import LazyTensor
+from repro.obs.flightrec import get_flight_recorder, postmortem
 from repro.obs.metrics import MetricsRegistry, Sample, get_registry
+from repro.obs.pmu import get_pmu
 from repro.obs.tracing import (
     NOOP_SPAN,
     Tracer,
@@ -367,6 +370,10 @@ class SimdramService:
         self._collector_name = f"serve:{id(self):x}"
         self.registry.register_collector(self._metric_samples,
                                          name=self._collector_name)
+        # The device PMU scrapes through the same registry, so a
+        # service built on a private registry still exports
+        # ``repro_pmu_*`` next to its serving metrics.
+        get_pmu().register(self.registry)
         self._latency_hist = self.registry.histogram(
             "repro_serve_request_latency_seconds",
             "submit-to-resolution latency of completed requests")
@@ -565,6 +572,9 @@ class SimdramService:
             self.metrics.record_submit(
                 tenant, lanes, has_deadline=slo_deadline is not None)
             self._cond.notify_all()
+        get_flight_recorder().record(
+            "serve.admit", request=handle.request_id, tenant=tenant,
+            lanes=lanes, deadline_s=deadline_s)
         return handle
 
     @staticmethod
@@ -808,6 +818,12 @@ class SimdramService:
         out.append(Sample("repro_kernels_cached",
                           snap["kernels_cached"], (), "gauge",
                           "kernels resident in the target's caches"))
+        for reason, dropped in self.tracer.drop_stats().items():
+            out.append(Sample(
+                "repro_trace_dropped_total", dropped,
+                (("reason", reason),), "counter",
+                "trace data lost silently: finished roots evicted "
+                "from the buffer, children past MAX_CHILDREN"))
         tier = snap.get("replica_tier")
         if tier is not None:
             from repro.serve.router import replica_tier_samples
@@ -906,6 +922,14 @@ class SimdramService:
                 for request in group.requests:
                     self._fail_request(request.handle, request.tenant,
                                        error)
+            # The black box outlives the crash: dump the merged
+            # flight-recorder postmortem before re-raising.
+            get_flight_recorder().record("serve.crash",
+                                         error=repr(error))
+            path = postmortem(f"serve worker crashed: {error!r}")
+            if path is not None:
+                print(f"[repro] flight-recorder postmortem: {path}",
+                      file=sys.stderr)
             raise
 
     def _worker_loop(self) -> None:
@@ -1107,6 +1131,9 @@ class SimdramService:
         requests = group.requests
         for request in requests:
             request.pack_span.finish()
+        get_flight_recorder().record(
+            "serve.dispatch", kernel=str(requests[0].key[0][0]),
+            n_requests=len(requests), lanes=group.total_lanes)
         if not any(r.span.recording for r in requests):
             return NOOP_SPAN
         key = requests[0].key
@@ -1224,6 +1251,11 @@ class SimdramService:
         self._latency_hist.observe(latency_s)
         if energy_nj is not None:
             self._energy_hist.observe(energy_nj * 1e-9)
+        # Device-PMU attribution: bill the finished request's lanes
+        # (and modeled energy) to its tenant and kernel identity.
+        get_pmu().attribute(request.tenant, str(request.key[0][0]),
+                            lanes=request.n_elements,
+                            energy_nj=energy_nj)
         request.handle.span.finish()
         self._release_inflight(request.handle)
 
@@ -1236,8 +1268,14 @@ class SimdramService:
             # Shed, not failed: the request never executed; goodput
             # math and error-rate alerts must not conflate the two.
             self.metrics.record_shed(tenant)
+            get_flight_recorder().record(
+                "serve.shed", request=handle.request_id,
+                tenant=tenant)
         else:
             self.metrics.record_failure(tenant)
+            get_flight_recorder().record(
+                "serve.fail", request=handle.request_id,
+                tenant=tenant, error=repr(error))
         handle.span.finish(error)
         self._release_inflight(handle)
 

@@ -52,6 +52,7 @@ import numpy as np
 from repro.core import expr
 from repro.core.expr import Expr
 from repro.errors import DeadlineExceeded, OperationError
+from repro.obs.flightrec import get_flight_recorder
 from repro.obs.tracing import NOOP_SPAN
 
 __all__ = [
@@ -209,6 +210,9 @@ class StreamingServer:
                 stream.span.finish(error)
                 raise error
             self._outstanding += 1
+        get_flight_recorder().record(
+            "stream.start", stream=stream.stream_id, tenant=tenant,
+            n_steps=n_steps, deadline_s=deadline_s)
         self._events.put(("start", stream, None))
         return stream
 
@@ -332,9 +336,18 @@ class StreamingServer:
         if error is not None:
             stream._future.set_exception(error)
             stream.span.finish(error)
+            get_flight_recorder().record(
+                "stream.shed" if isinstance(error, DeadlineExceeded)
+                else "stream.fail",
+                stream=stream.stream_id,
+                steps_done=stream.steps_done)
         else:
             stream._future.set_result(value)
             stream.span.finish()
+            get_flight_recorder().record(
+                "stream.done", stream=stream.stream_id,
+                steps_done=stream.steps_done,
+                on_time=stream.on_time)
         with self._cond:
             self._outstanding -= 1
             self._cond.notify_all()

@@ -13,6 +13,34 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.subarray import Subarray
 
 
+# ----------------------------------------------------------------------
+# flight-recorder postmortems for failed tests
+# ----------------------------------------------------------------------
+#: Cap the number of dumps per run: a cascading failure (one broken
+#: layer failing hundreds of tests) must not write hundreds of files.
+_MAX_FLIGHTREC_DUMPS = 20
+_flightrec_dumps = 0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On a call-phase failure, dump the in-process flight recorder to
+    ``.flightrec/`` (CI uploads the directory as a ``flightrec-<sha>``
+    artifact) and point at the file from the test report."""
+    outcome = yield
+    report = outcome.get_result()
+    global _flightrec_dumps
+    if (report.when != "call" or not report.failed
+            or _flightrec_dumps >= _MAX_FLIGHTREC_DUMPS):
+        return
+    _flightrec_dumps += 1
+    from repro.obs.flightrec import postmortem
+    path = postmortem(f"test failed: {item.nodeid}")
+    if path:
+        report.sections.append(
+            ("flight recorder", f"postmortem written to {path}"))
+
+
 @pytest.fixture
 def small_geometry() -> DramGeometry:
     """A tiny subarray: fast, but large enough for 16-bit µPrograms."""

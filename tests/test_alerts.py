@@ -1,0 +1,256 @@
+"""Tests for SLO burn-rate alerting (:mod:`repro.obs.alerts`).
+
+Everything runs against a private registry with a hand-rolled
+collector and explicit ``evaluate(now=...)`` ticks, so the
+multi-window burn logic is exercised deterministically: fire needs
+both windows burning, resolution needs only the short window to
+recover (hysteresis via ``resolve_burn``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.alerts import (AlertManager, AlertRule, MetricsView,
+                              default_rules)
+from repro.obs.metrics import MetricsRegistry, Sample
+
+
+def make_registry(samples_ref: list) -> MetricsRegistry:
+    """Registry whose scrape returns whatever is in ``samples_ref``."""
+    registry = MetricsRegistry()
+    registry.register_collector(lambda: list(samples_ref), name="test")
+    return registry
+
+
+def gauge(name: str, value: float, **labels) -> Sample:
+    return Sample(name, value, tuple(sorted(labels.items())), "gauge", "")
+
+
+class TestMetricsView:
+    def test_value_matches_label_subset(self):
+        view = MetricsView([gauge("m", 1.0, a="x", b="y"),
+                            gauge("m", 2.0, a="z")])
+        assert view.value("m", a="z") == 2.0
+        assert view.value("m", b="y") == 1.0
+        assert view.value("m", a="nope") is None
+        assert view.value("missing", default=7.0) == 7.0
+
+    def test_sum_and_max(self):
+        view = MetricsView([gauge("m", 1.0, k="a"),
+                            gauge("m", 3.0, k="b")])
+        assert view.sum("m") == 4.0
+        assert view.max("m") == 3.0
+        assert view.sum("missing") is None
+        assert view.max("missing") is None
+
+
+class TestBurnMath:
+    def test_ceiling_and_floor_breach(self):
+        ceiling = AlertRule("c", lambda v: None, threshold=10.0)
+        assert ceiling.breach(20.0) == pytest.approx(2.0)
+        assert ceiling.breach(5.0) == pytest.approx(0.5)
+        floor = AlertRule("f", lambda v: None, threshold=10.0,
+                          kind="floor")
+        assert floor.breach(5.0) == pytest.approx(2.0)
+        assert floor.breach(20.0) == pytest.approx(0.5)
+
+
+class TestValueMode:
+    def rule(self) -> AlertRule:
+        return AlertRule("p99", lambda v: v.value("lat"),
+                         threshold=100.0, kind="ceiling", mode="value",
+                         short_s=1.5, long_s=3.5)
+
+    def test_fire_needs_both_windows(self):
+        samples = [gauge("lat", 500.0)]
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        # Tick 0: only one point — short window burns, but it is also
+        # the only long-window point; both burn => fires immediately
+        # only if sustained.  One hot sample after a cold history must
+        # NOT fire the long window.
+        samples[:] = [gauge("lat", 10.0)]
+        manager.evaluate(now=0.0)
+        manager.evaluate(now=1.0)
+        samples[:] = [gauge("lat", 250.0)]
+        transitions = manager.evaluate(now=2.0)
+        # Short window (10, 250) burns, but the long window mean is
+        # (10 + 10 + 250) / 3 = 90 < 100: no fire yet.
+        assert transitions == []
+        transitions = manager.evaluate(now=3.0)
+        # Long window now (10, 10, 250, 250), mean 130: both burn.
+        assert [e.state for e in transitions] == ["firing"]
+        assert manager.state("p99").firing
+        assert manager.active()[0].rule.name == "p99"
+
+    def test_resolve_on_short_window_recovery(self):
+        samples = [gauge("lat", 500.0)]
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        for tick in range(4):
+            manager.evaluate(now=float(tick))
+        assert manager.state("p99").firing
+        samples[:] = [gauge("lat", 10.0)]
+        manager.evaluate(now=4.0)
+        transitions = manager.evaluate(now=5.0)
+        # Short window (10, 10) has burn 0.1 < resolve_burn.
+        assert [e.state for e in transitions] == ["resolved"]
+        assert not manager.state("p99").firing
+        assert manager.active() == []
+
+    def test_none_sample_skips_rule(self):
+        samples: list = []
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        for tick in range(5):
+            assert manager.evaluate(now=float(tick)) == []
+        assert manager.state("p99").history == type(
+            manager.state("p99").history)()
+
+    def test_broken_sample_never_raises(self):
+        def boom(view):
+            raise RuntimeError("collector exploded")
+        manager = AlertManager(
+            make_registry([]),
+            [AlertRule("b", boom, threshold=1.0)])
+        assert manager.evaluate(now=0.0) == []
+
+
+class TestRateMode:
+    def rule(self) -> AlertRule:
+        return AlertRule("goodput", lambda v: v.value("done"),
+                         threshold=5.0, kind="floor", mode="rate",
+                         short_s=1.5, long_s=3.5)
+
+    def test_stalled_counter_fires_then_recovers(self):
+        samples = [gauge("done", 0.0)]
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        # Healthy: +10/tick, rate 10 > floor 5.
+        for tick in range(4):
+            samples[:] = [gauge("done", 10.0 * (tick + 1))]
+            assert manager.evaluate(now=float(tick)) == []
+        # Collapse: counter freezes; both windows eventually burn.
+        events = []
+        for tick in range(4, 8):
+            events += manager.evaluate(now=float(tick))
+        assert [e.state for e in events] == ["firing"]
+        # Recovery: counter moves again; short window resolves fast.
+        events = []
+        for tick in range(8, 10):
+            samples[:] = [gauge("done", 40.0 + 10.0 * (tick - 7))]
+            events += manager.evaluate(now=float(tick))
+        assert [e.state for e in events] == ["resolved"]
+
+    def test_single_point_window_is_inconclusive(self):
+        samples = [gauge("done", 0.0)]
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        assert manager.evaluate(now=0.0) == []
+        state = manager.state("goodput")
+        assert state.burn_short is None   # a rate needs two points
+
+
+class TestRatioMode:
+    def rule(self) -> AlertRule:
+        return AlertRule(
+            "shed", lambda v: (v.value("shed"), v.value("sub")),
+            threshold=0.5, kind="ceiling", mode="ratio",
+            short_s=1.5, long_s=3.5)
+
+    def test_windowed_shed_fraction(self):
+        samples = [gauge("shed", 0.0), gauge("sub", 0.0)]
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        for tick in range(4):
+            samples[:] = [gauge("shed", 0.0),
+                          gauge("sub", 10.0 * (tick + 1))]
+            assert manager.evaluate(now=float(tick)) == []
+        events = []
+        for tick in range(4, 8):   # everything sheds from here on
+            samples[:] = [gauge("shed", 10.0 * (tick - 3)),
+                          gauge("sub", 10.0 * (tick + 1))]
+            events += manager.evaluate(now=float(tick))
+        assert [e.state for e in events] == ["firing"]
+
+    def test_no_denominator_movement_is_inconclusive(self):
+        samples = [gauge("shed", 5.0), gauge("sub", 10.0)]
+        manager = AlertManager(make_registry(samples), [self.rule()])
+        manager.evaluate(now=0.0)
+        manager.evaluate(now=1.0)    # same cumulative values
+        assert manager.state("shed").burn_short is None
+
+
+class TestSubscribersAndEvents:
+    def test_subscriber_notified_and_exception_safe(self):
+        samples = [gauge("lat", 500.0)]
+        seen = []
+
+        def bad_subscriber(event):
+            raise RuntimeError("subscriber bug")
+
+        manager = AlertManager(
+            make_registry(samples),
+            [AlertRule("p99", lambda v: v.value("lat"),
+                       threshold=100.0, mode="value",
+                       short_s=1.5, long_s=3.5)])
+        manager.subscribe(bad_subscriber)
+        manager.subscribe(seen.append)
+        for tick in range(4):
+            manager.evaluate(now=float(tick))
+        assert [e.state for e in seen] == ["firing"]
+        assert manager.events == seen
+        assert "[FIRING] p99" in str(seen[0])
+
+    def test_transitions_flight_recorded(self):
+        from repro.obs.flightrec import get_flight_recorder
+        samples = [gauge("lat", 500.0)]
+        manager = AlertManager(
+            make_registry(samples),
+            [AlertRule("fr_test_rule", lambda v: v.value("lat"),
+                       threshold=100.0, mode="value",
+                       short_s=1.5, long_s=3.5)])
+        for tick in range(4):
+            manager.evaluate(now=float(tick))
+        fires = [e for e in get_flight_recorder().events()
+                 if e["kind"] == "alert.fire"
+                 and e.get("rule") == "fr_test_rule"]
+        assert fires
+
+
+class TestDefaultRules:
+    def test_thresholds_gate_rule_creation(self):
+        assert default_rules() == []
+        rules = default_rules(goodput_floor_rps=1.0, shed_rate_max=0.5)
+        assert [r.name for r in rules] == ["goodput_floor", "shed_rate"]
+        everything = default_rules(
+            goodput_floor_rps=1.0, p99_ceiling_ms=50.0,
+            shed_rate_max=0.5, rtt_ceiling_s=1.0, occupancy_floor=0.1)
+        assert len(everything) == 5
+
+    def test_goodput_guard_requires_deadline_traffic(self):
+        (rule,) = default_rules(goodput_floor_rps=1.0)
+        view = MetricsView([
+            gauge("repro_serve_slo_requests_total", 0.0,
+                  state="with_deadline"),
+            gauge("repro_serve_slo_requests_total", 0.0,
+                  state="on_time")])
+        assert rule.sample(view) is None
+        view = MetricsView([
+            gauge("repro_serve_slo_requests_total", 3.0,
+                  state="with_deadline"),
+            gauge("repro_serve_slo_requests_total", 2.0,
+                  state="on_time")])
+        assert rule.sample(view) == 2.0
+
+    def test_occupancy_guard_requires_pmu_traffic(self):
+        (rule,) = default_rules(occupancy_floor=0.1)
+        assert rule.sample(MetricsView([])) is None
+        view = MetricsView([
+            gauge("repro_pmu_dispatches_total", 5.0, module="0"),
+            gauge("repro_pmu_window_utilization", 0.4, module="0"),
+            gauge("repro_pmu_window_utilization", 0.2, module="1")])
+        assert rule.sample(view) == pytest.approx(0.4)
+
+    def test_shed_ratio_sample(self):
+        rules = default_rules(shed_rate_max=0.5)
+        (rule,) = rules
+        view = MetricsView([
+            gauge("repro_serve_requests_total", 10.0, state="submitted"),
+            gauge("repro_serve_requests_total", 4.0, state="shed")])
+        assert rule.sample(view) == (4.0, 10.0)

@@ -105,3 +105,45 @@ class TestCommands:
         assert 'repro_serve_slo_requests_total{state="on_time"} 2' \
             in out
         assert "repro_request_energy_joules_count 8" in out
+
+
+class TestObservabilityCommands:
+    def test_stats_watch_reprints_scrapes(self, capsys):
+        assert main(["stats", "--requests", "6", "--watch", "0.01",
+                     "--frames", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("# TYPE repro_serve_requests_total counter") == 3
+
+    def test_top_steady_renders_dashboard(self, capsys):
+        assert main(["top", "--scenario", "steady", "--plain",
+                     "--frames", "2", "--interval", "0.01",
+                     "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top · steady:steady" in out
+        assert "serving   submitted" in out
+        assert "pmu m" in out and "bank 0" in out
+        assert "none firing (4 rules armed)" in out
+
+    def test_top_collapse_fires_and_resolves_goodput_alert(self, capsys):
+        """The acceptance scenario: a synthetic goodput collapse fires
+        a burn-rate alert on screen and recovery resolves it."""
+        assert main(["top", "--scenario", "collapse", "--plain",
+                     "--frames", "12", "--interval", "0.01",
+                     "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT FIRING  goodput_floor" in out
+        assert "[FIRING] goodput_floor" in out
+        assert "[RESOLVED] goodput_floor" in out
+
+    def test_serve_cluster_postmortem_dump(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "postmortem.json"
+        assert main(["serve-cluster", "--replicas", "2", "--requests",
+                     "6", "--lanes", "8", "--kill-one",
+                     "--postmortem", str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+        dump = json.loads(path.read_text())
+        assert dump["reason"] == "serve-cluster drill"
+        assert any(source.startswith("replica-")
+                   for source in dump["segments"])
+        assert any(e["kind"] == "replica.death" for e in dump["events"])

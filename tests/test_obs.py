@@ -615,3 +615,102 @@ class TestCliObservability:
         names = {e["name"] for e in doc["traceEvents"]
                  if e["ph"] == "X"}
         assert "serve.request" in names and "engine.execute" in names
+
+
+class TestLabelEscaping:
+    """Prometheus exposition: label values with backslashes, quotes
+    and newlines must round-trip per the text-format escaping rules
+    (backslash first, then quote, then newline)."""
+
+    def _text_for(self, value: str) -> str:
+        registry = MetricsRegistry()
+        registry.counter("esc_total").inc(1.0, tenant=value)
+        return registry.prometheus_text()
+
+    def test_quote_escaped(self):
+        assert r'tenant="say \"hi\""' in self._text_for('say "hi"')
+
+    def test_backslash_escaped(self):
+        assert r'tenant="c:\\temp"' in self._text_for("c:\\temp")
+
+    def test_newline_escaped(self):
+        text = self._text_for("line1\nline2")
+        assert r'tenant="line1\nline2"' in text
+        # The rendered text must stay one-sample-per-line parseable.
+        sample_lines = [line for line in text.splitlines()
+                        if line.startswith("esc_total")]
+        assert len(sample_lines) == 1
+
+    def test_backslash_before_quote_order(self):
+        # A pre-escaped-looking value \" must render as \\\" — the
+        # backslash pass must not re-escape the quote's new backslash.
+        assert r'tenant="\\\""' in self._text_for('\\"')
+
+
+class TestFailedUnfinishedSpanExport:
+    def test_failed_never_finished_span_exports_open(self, fake_clock):
+        """A span that was ``fail()``-ed but never ``finish()``-ed (a
+        crashed worker's last span) must still export: zero duration,
+        error status and an ``open`` marker."""
+        root = Span("serve.request")
+        fake_clock(0.5)
+        child = root.child("serve.dispatch")
+        child.fail("worker exploded")       # no finish() follows
+        events = chrome_trace_events([root])
+        (x_event,) = [e for e in events if e["ph"] == "X"
+                      and e["name"] == "serve.dispatch"]
+        assert x_event["dur"] == 0.0
+        assert x_event["args"]["status"] == "error"
+        assert x_event["args"]["error"] == "worker exploded"
+        assert x_event["args"]["open"] is True
+        # The unfinished root exports the same way.
+        (root_event,) = [e for e in events if e["ph"] == "X"
+                         and e["name"] == "serve.request"]
+        assert root_event["args"]["open"] is True
+
+
+class TestTracerDropCounters:
+    def test_buffer_eviction_counted(self):
+        tracer = Tracer(enabled=True, max_traces=2)
+        for i in range(5):
+            tracer.trace(f"r{i}").finish()
+        assert tracer.drop_stats() == {"buffer": 3, "children": 0}
+
+    def test_child_drops_counted(self):
+        tracer = Tracer(enabled=True, max_traces=8)
+        root = tracer.trace("busy")
+        for i in range(MAX_CHILDREN + 7):
+            root.child(f"c{i}").finish()
+        root.finish()
+        assert tracer.drop_stats()["children"] == 7
+
+    def test_clear_resets_drop_counts(self):
+        tracer = Tracer(enabled=True, max_traces=1)
+        tracer.trace("a").finish()
+        tracer.trace("b").finish()
+        assert tracer.drop_stats()["buffer"] == 1
+        tracer.clear()
+        assert tracer.drop_stats() == {"buffer": 0, "children": 0}
+
+    def test_service_exports_trace_dropped_total(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, max_traces=2)
+        with SimdramCluster(1, config=small_config()) as cluster, \
+                SimdramService(cluster, ServeConfig(max_wait_s=0.001),
+                               tracer=tracer,
+                               registry=registry) as service:
+            a = np.arange(8)
+            for _ in range(4):
+                service.submit("add", a, a, width=8).result(60)
+            text = service.prometheus()
+        assert 'repro_trace_dropped_total{reason="buffer"} 2' in text
+        assert 'repro_trace_dropped_total{reason="children"}' in text
+
+    def test_span_root_flight_recorded(self):
+        from repro.obs.flightrec import get_flight_recorder
+        tracer = Tracer(enabled=True, max_traces=4)
+        tracer.trace("flightrec.span.marker").finish()
+        roots = [e for e in get_flight_recorder().events()
+                 if e["kind"] == "span.root"
+                 and e.get("name") == "flightrec.span.marker"]
+        assert roots and "duration_s" in roots[0]
